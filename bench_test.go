@@ -1,0 +1,162 @@
+package pimdsm
+
+// One benchmark per table and figure of the paper's evaluation section
+// (DESIGN.md carries the experiment index). The benchmarks run reduced
+// problem scales and application subsets so `go test -bench=.` completes in
+// minutes; `cmd/figures` regenerates everything at the calibrated scale.
+// Each benchmark reports the headline quantity of its figure as a custom
+// metric so regressions in the *shape* (not just the runtime) are visible.
+
+import (
+	"testing"
+
+	"pimdsm/internal/proto"
+)
+
+func benchOpts(apps ...string) Options {
+	return Options{Scale: 0.25, Threads: 16, Apps: apps}
+}
+
+// BenchmarkTable2HandlerCosts measures this repository's actual protocol
+// transaction implementations — the analogue of the paper running its
+// handlers on an R10K — and reports the modeled (Table 2) costs alongside.
+func BenchmarkTable2HandlerCosts(b *testing.B) {
+	costs := proto.AGGCosts()
+	b.ReportMetric(float64(costs.ReadLat), "model-read-lat")
+	b.ReportMetric(float64(costs.ReadExOcc), "model-readex-occ")
+	b.ReportMetric(float64(costs.WBOcc), "model-wb-occ")
+	cfg := Config{Arch: AGG, App: App("fft", 0.05), Threads: 4, Pressure: 0.5, DRatio: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Workloads generates (and drains) every application's op
+// streams — the workload-generator side of the harness.
+func BenchmarkTable3Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Table3(Options{Scale: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the overall-performance comparison on a
+// two-application subset and reports the AGG-vs-NUMA geomean ratios.
+func BenchmarkFigure6(b *testing.B) {
+	var rows []AppBars
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = Figure6(benchOpts("fft", "swim"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg75, coma75 := 0.0, 0.0
+	for _, row := range rows {
+		agg75 += row.Bars[4].Exec // 1/1AGG75
+		coma75 += row.Bars[2].Exec
+	}
+	b.ReportMetric(agg75/float64(len(rows)), "AGG75/NUMA")
+	b.ReportMetric(coma75/float64(len(rows)), "COMA75/NUMA")
+}
+
+// BenchmarkFigure7 derives the read-latency breakdown from a Figure 6 run
+// and reports AGG's local-memory share (the paper's migration effect).
+func BenchmarkFigure7(b *testing.B) {
+	var f7 []Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows, err := Figure6(benchOpts("swim"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		f7 = Figure7(rows)
+	}
+	b.ReportMetric(f7[0].Bars[4].ByClass[proto.LatMem], "AGG75-mem-share")
+}
+
+// BenchmarkFigure8 regenerates the D-node census and reports the Dirty-in-P
+// share at 75% pressure.
+func BenchmarkFigure8(b *testing.B) {
+	var bars []Fig8Bar
+	var err error
+	for i := 0; i < b.N; i++ {
+		bars, err = Figure8(benchOpts("radix"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(bars[0].DirtyInP, "dirtyInP@75")
+}
+
+// BenchmarkFigure9 sweeps a small static-reconfigurability grid and reports
+// the speedup from the 2&2 baseline to the best cell.
+func BenchmarkFigure9(b *testing.B) {
+	var apps []Fig9App
+	var err error
+	for i := 0; i < b.N; i++ {
+		apps, err = Figure9(benchOpts("dbase"), []int{2, 8}, []int{2, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 1.0
+	for _, c := range apps[0].Cells {
+		if c.Exec < best {
+			best = c.Exec
+		}
+	}
+	b.ReportMetric(best, "best-cell")
+}
+
+// BenchmarkFigure10a runs the dynamic-reconfiguration experiment and
+// reports dynamic time relative to the best static configuration.
+func BenchmarkFigure10a(b *testing.B) {
+	var r *ReconfigResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = RunReconfig(App("dbase", 0.25), 0.75, 8, 8, 14, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := r.StaticA()
+	if r.StaticB() < best {
+		best = r.StaticB()
+	}
+	b.ReportMetric(float64(r.Dynamic)/float64(best), "dynamic/best-static")
+}
+
+// BenchmarkFigure10b runs the computation-in-memory comparison and reports
+// Opt's execution-time reduction.
+func BenchmarkFigure10b(b *testing.B) {
+	var pts []Fig10bPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = Figure10b(Options{Scale: 0.25}, [][2]int{{8, 8}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*(1-pts[0].Opt/pts[0].Plain), "opt-reduction-%")
+}
+
+// BenchmarkSingleRunAGG/NUMA/COMA time one standard run per architecture —
+// the simulator's raw throughput.
+func BenchmarkSingleRunAGG(b *testing.B)  { benchSingle(b, AGG) }
+func BenchmarkSingleRunNUMA(b *testing.B) { benchSingle(b, NUMA) }
+func BenchmarkSingleRunCOMA(b *testing.B) { benchSingle(b, COMA) }
+
+func benchSingle(b *testing.B, arch Arch) {
+	cfg := Config{Arch: arch, App: App("ocean", 0.25), Threads: 16, Pressure: 0.75, DRatio: 1}
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Breakdown.Exec), "sim-cycles")
+	}
+}

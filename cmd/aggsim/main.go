@@ -1,0 +1,91 @@
+// Command aggsim runs a single DSM simulation and prints its measurements:
+// the execution-time breakdown, the read-latency classification, protocol
+// event counters, and (for AGG) the D-node memory census.
+//
+// Usage:
+//
+//	aggsim -arch agg|numa|coma -app fft -pressure 0.75 -dratio 1
+//	       [-threads 32] [-scale 1.0] [-dnodes n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimdsm"
+	"pimdsm/internal/proto"
+)
+
+func main() {
+	arch := flag.String("arch", "agg", "architecture: agg, numa or coma")
+	app := flag.String("app", "fft", "application (fft radix ocean barnes swim tomcatv dbase dbase-opt)")
+	pressure := flag.Float64("pressure", 0.75, "memory pressure: footprint / total DRAM")
+	threads := flag.Int("threads", 32, "application threads (= P-nodes)")
+	dratio := flag.Int("dratio", 1, "AGG P:D ratio denominator (1, 2 or 4)")
+	dnodes := flag.Int("dnodes", 0, "explicit AGG D-node count (overrides -dratio)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	flag.Parse()
+
+	cfg := pimdsm.Config{
+		Arch:     pimdsm.Arch(*arch),
+		App:      pimdsm.App(*app, *scale),
+		Threads:  *threads,
+		Pressure: *pressure,
+		DRatio:   *dratio,
+		DNodes:   *dnodes,
+	}
+	res, err := pimdsm.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s / %s: %d P-nodes", res.Arch, res.App, res.PNodes)
+	if res.DNodes > 0 {
+		fmt.Printf(" + %d D-nodes", res.DNodes)
+	}
+	fmt.Printf(", %.1f MB DRAM (pressure %.0f%%)\n",
+		float64(res.TotalDRAM)/(1<<20), res.EffPressure*100)
+	bd := res.Breakdown
+	fmt.Printf("execution time: %d cycles (Memory %d = %.0f%%, Processor %d)\n",
+		bd.Exec, bd.Memory, 100*float64(bd.Memory)/float64(bd.Exec), bd.Processor)
+
+	m := &res.Machine
+	fmt.Printf("reads by level:\n")
+	for c := proto.LatClass(0); c < proto.NumLatClasses; c++ {
+		if m.ReadCount[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s %9d reads, avg %5d cycles\n",
+			c, m.ReadCount[c], uint64(m.ReadLatSum[c])/m.ReadCount[c])
+	}
+	fmt.Printf("events: %d invalidations, %d write-backs, %d upgrades\n",
+		m.Invalidations, m.WriteBacks, m.Upgrades)
+	if m.Pageouts+m.DiskFaults > 0 {
+		fmt.Printf("paging: %d pageouts, %d recalls, %d disk faults\n",
+			m.Pageouts, m.Recalls, m.DiskFaults)
+	}
+	if m.Injections > 0 {
+		fmt.Printf("COMA: %d injections (avg cascade %.1f hops), %d overflows\n",
+			m.Injections, float64(m.InjectionHops)/float64(m.Injections), m.Overflows)
+	}
+	if m.Scans > 0 {
+		fmt.Printf("computation in memory: %d scans over %d lines\n", m.Scans, m.ScanLines)
+	}
+	if res.Arch == pimdsm.AGG {
+		c := res.Census
+		fmt.Printf("D-node census: %d dirty-in-P, %d shared-in-P, %d D-node-only, %d free of %d slots\n",
+			c.DirtyInP, c.SharedInP, c.DNodeOnly, c.FreeSlots, c.SlotCap)
+	}
+	net := res.Mesh
+	fmt.Printf("mesh: %d messages, %.1f MB, avg queueing %d cycles\n",
+		net.Messages, float64(net.Bytes)/(1<<20), uint64(net.Queued)/max64(net.Messages, 1))
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b]
+//	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick]
+//
+// -quick shrinks problem sizes and the Figure 9 grid for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimdsm"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	threads := flag.Int("threads", 32, "application threads")
+	apps := flag.String("apps", "", "comma-separated app subset")
+	quick := flag.Bool("quick", false, "small scale and coarse grids")
+	flag.Parse()
+
+	opt := pimdsm.Options{Scale: *scale, Threads: *threads}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	ps, ds := []int{2, 4, 8, 16, 32}, []int{2, 4, 8, 16, 32}
+	combos := [][2]int{{2, 2}, {4, 4}, {8, 8}, {16, 16}, {28, 4}}
+	if *quick {
+		if *scale == 1.0 {
+			opt.Scale = 0.25
+		}
+		ps, ds = []int{2, 8, 32}, []int{2, 8, 32}
+		combos = [][2]int{{2, 2}, {8, 8}, {28, 4}}
+	}
+
+	run := func(name string, fn func() error) {
+		want := *exp == "all" || *exp == name
+		if !want {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() error { fmt.Print(pimdsm.Table1()); return nil })
+	run("table2", func() error { fmt.Print(pimdsm.Table2()); return nil })
+	run("table3", func() error {
+		s, err := pimdsm.Table3(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	})
+
+	var fig6 []pimdsm.AppBars
+	need6 := *exp == "all" || *exp == "fig6" || *exp == "fig7"
+	if need6 {
+		var err error
+		fig6, err = pimdsm.Figure6(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig6:", err)
+			os.Exit(1)
+		}
+	}
+	run("fig6", func() error { fmt.Print(pimdsm.FormatFigure6(fig6)); return nil })
+	run("fig7", func() error { fmt.Print(pimdsm.FormatFigure7(pimdsm.Figure7(fig6))); return nil })
+	run("fig8", func() error {
+		bars, err := pimdsm.Figure8(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pimdsm.FormatFigure8(bars))
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := pimdsm.Figure9(opt, ps, ds)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pimdsm.FormatFigure9(rows))
+		return nil
+	})
+	run("fig10a", func() error {
+		r, err := pimdsm.Figure10a(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pimdsm.FormatFigure10a(r))
+		return nil
+	})
+	run("fig10b", func() error {
+		pts, err := pimdsm.Figure10b(opt, combos)
+		if err != nil {
+			return err
+		}
+		fmt.Print(pimdsm.FormatFigure10b(pts))
+		return nil
+	})
+}

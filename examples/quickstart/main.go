@@ -1,0 +1,54 @@
+// Quickstart: simulate one application on the paper's three architectures
+// and compare their execution-time breakdowns — a miniature of Figure 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimdsm"
+)
+
+func main() {
+	app := pimdsm.App("swim", 0.5) // half-size Swim for a fast demo
+
+	fmt.Println("Swim (SPEC95), 32 threads, 75% memory pressure:")
+	var numa float64
+	for _, arch := range []pimdsm.Arch{pimdsm.NUMA, pimdsm.COMA, pimdsm.AGG} {
+		res, err := pimdsm.Run(pimdsm.Config{
+			Arch:     arch,
+			App:      app,
+			Threads:  32,
+			Pressure: 0.75,
+			DRatio:   1, // AGG: one D-node per P-node (1/1AGG)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bd := res.Breakdown
+		if arch == pimdsm.NUMA {
+			numa = float64(bd.Exec)
+		}
+		fmt.Printf("  %-5s exec %9d cycles (%.2fx NUMA)  memory %3.0f%%  processor %3.0f%%",
+			arch, bd.Exec, float64(bd.Exec)/numa,
+			100*float64(bd.Memory)/float64(bd.Exec),
+			100*float64(bd.Processor)/float64(bd.Exec))
+		if arch == pimdsm.AGG {
+			c := res.Census
+			fmt.Printf("  [D-nodes: %d/%d slots used]", c.SlotCap-c.FreeSlots, c.SlotCap)
+		}
+		fmt.Println()
+	}
+
+	// The same AGG machine with a quarter of the D-nodes (1/4AGG) — the
+	// paper's cost-effective sweet spot: slightly slower, much less
+	// hardware.
+	res, err := pimdsm.Run(pimdsm.Config{
+		Arch: pimdsm.AGG, App: app, Threads: 32, Pressure: 0.75, DRatio: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  1/4AGG (8 fatter D-nodes): exec %d cycles (%.2fx NUMA)\n",
+		res.Breakdown.Exec, float64(res.Breakdown.Exec)/numa)
+}

@@ -1,0 +1,38 @@
+// Reconfig: the paper's dynamic reconfigurability experiment (§4.2,
+// Figure 10a). Dbase's hash phase wants many D-nodes (it hammers the
+// directories and synchronizes constantly); its join phase wants many
+// P-nodes (it reuses chunks in the big local memories). A machine that
+// reconfigures 12 D-nodes into P-nodes at the phase boundary captures the
+// best of both, minus the modeled reconfiguration overhead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimdsm"
+)
+
+func main() {
+	r, err := pimdsm.RunReconfig(pimdsm.App("dbase", 0.5), 0.75, 16, 16, 28, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm := float64(r.StaticA())
+	pct := func(t pimdsm.Time) float64 { return 100 * float64(t) / norm }
+
+	fmt.Println("Dbase (TPC-D Q3) on AGG at 75% pressure, 32 nodes total:")
+	fmt.Printf("  static 16P&16D: %6.1f%%   (hash %5.1f%% + join %5.1f%%)  <- good hash, poor join\n",
+		pct(r.StaticA()), pct(r.Phase1A), pct(r.Phase2A))
+	fmt.Printf("  static 28P&4D : %6.1f%%   (hash %5.1f%% + join %5.1f%%)  <- poor hash, good join\n",
+		pct(r.StaticB()), pct(r.Phase1B), pct(r.Phase2B))
+	fmt.Printf("  dynamic       : %6.1f%%   (hash %5.1f%% + reconf %4.1f%% + join %5.1f%%)\n",
+		pct(r.Dynamic), pct(r.Phase1A), pct(r.Reconf), pct(r.Phase2B))
+	fmt.Printf("  reconfiguration migrated %d lines and %d pages\n", r.LinesMoved, r.PagesMoved)
+
+	best := r.StaticA()
+	if r.StaticB() < best {
+		best = r.StaticB()
+	}
+	fmt.Printf("  dynamic vs best static: %+.1f%%\n", 100*(float64(r.Dynamic)/float64(best)-1))
+}

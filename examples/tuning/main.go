@@ -1,0 +1,42 @@
+// Tuning: the paper's §2.3 static-reconfiguration procedure. Because
+// P-nodes and D-nodes are the same hardware, the machine can be repartitioned
+// per application — but the right split isn't known a priori. The paper's
+// recipe: run once with a wasteful number of D-nodes, record the D-node
+// processor utilization, and use it as the hint for the next run. This
+// example applies the recipe to two applications with opposite needs and
+// cross-checks the hint against an exhaustive sweep of one machine size
+// (the paper's Figure 4 design space).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimdsm"
+)
+
+func main() {
+	for _, app := range []string{"swim", "dbase"} {
+		spec := pimdsm.App(app, 0.25)
+		tr, err := pimdsm.TuneDRatio(spec, 0.75, 16, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: profiling 16P&16D run -> D-node utilization %.1f%%, hint: %d D-nodes\n",
+			app, 100*tr.Utilization, tr.SuggestedD)
+
+		pts, best, err := pimdsm.OptimalSplit(spec, 0.75, 24, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  exhaustive sweep of a 24-node machine:\n")
+		for i, pt := range pts {
+			mark := "  "
+			if i == best {
+				mark = "<-- best"
+			}
+			fmt.Printf("    %2dP & %2dD: %9d cycles %s\n", pt.P, pt.D, pt.Result.Breakdown.Exec, mark)
+		}
+	}
+	fmt.Println("\n(protocol-hungry applications earn more D-nodes; compute-hungry ones more P-nodes)")
+}

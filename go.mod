@@ -1,0 +1,3 @@
+module pimdsm
+
+go 1.23

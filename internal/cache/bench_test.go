@@ -1,0 +1,50 @@
+package cache
+
+import "testing"
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	c := MustNew(1<<20, 64, 4)
+	for i := 0; i < 1<<14; i++ {
+		c.Insert(uint64(i)*64, Shared, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%(1<<14)) * 64)
+	}
+}
+
+func BenchmarkSetAssocInsertEvict(b *testing.B) {
+	c := MustNew(1<<16, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(uint64(i)*64, Dirty, nil)
+	}
+}
+
+func BenchmarkLocalMemoryAccess(b *testing.B) {
+	m := MustNewLocal(1<<20, 128, 4, 0.5)
+	for i := 0; i < 1<<13; i++ {
+		m.Insert(uint64(i)*128, Dirty, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(uint64(i%(1<<13)) * 128)
+	}
+}
+
+func BenchmarkLocalMemoryProbeVictim(b *testing.B) {
+	m := MustNewLocal(1<<18, 128, 4, 0.5)
+	for i := 0; i < 1<<11; i++ {
+		m.Insert(uint64(i)*128, Dirty, nil)
+	}
+	rank := func(s State) int {
+		if s == Shared {
+			return 0
+		}
+		return 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ProbeVictim(uint64(i)*128, rank)
+	}
+}

@@ -1,0 +1,470 @@
+// Package coma implements the Flat COMA baseline of the paper's evaluation
+// (§3): every node's local DRAM is an attraction memory (a tagged
+// set-associative cache of memory lines, like AGG's P-node memories), the
+// directory home of a line is fixed by first touch, but the data itself
+// migrates to wherever it is used. Exactly one copy of each line is the
+// master; replacement prefers invalid and non-master lines, and a displaced
+// master is *injected* into another node's attraction memory using Joe and
+// Hennessy's method (relocate to the provider, cascading onwards if the
+// provider's set is full of masters) — the protocol complication and memory
+// pollution AGG's home-always-accepts design avoids.
+package coma
+
+import (
+	"fmt"
+
+	"pimdsm/internal/cache"
+	"pimdsm/internal/mesh"
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+	"pimdsm/internal/stats"
+)
+
+type dirState uint8
+
+const (
+	dirUnfetched dirState = iota // zero-fill on first touch
+	dirShared                    // master plus possibly non-master copies
+	dirDirty                     // single writable master copy
+	dirSwapped                   // overflow: line swapped to disk
+)
+
+type dirEntry struct {
+	state   dirState
+	master  int32
+	sharers proto.PtrVec
+}
+
+// Config describes a Flat COMA machine.
+type Config struct {
+	Nodes int
+
+	LineBytes uint64
+	PageBytes uint64
+
+	// AMBytes is each node's attraction-memory capacity, organized as an
+	// AMAssoc-way cache with OnChipFraction on chip.
+	AMBytes        uint64
+	AMAssoc        int
+	OnChipFraction float64
+
+	// MaxInjectHops bounds an injection cascade before the line is swapped
+	// to disk. 0 means scan every node (with pressure < 100% space exists
+	// somewhere, so overflow to disk is then a true last resort).
+	MaxInjectHops int
+
+	Caches proto.CacheGeom
+	Timing proto.Timing
+	Costs  proto.HandlerCosts
+	Mesh   mesh.Config
+}
+
+// DefaultConfig returns the Table 1 COMA configuration (double-width links,
+// hardware protocol costs, 4-way attraction memories).
+func DefaultConfig(nodes int, amBytes uint64, l1, l2 uint64) Config {
+	mc := mesh.DefaultConfig(0, 0)
+	mc.BytesPerCycle *= 2
+	return Config{
+		Nodes:          nodes,
+		LineBytes:      128,
+		PageBytes:      4096,
+		AMBytes:        amBytes,
+		AMAssoc:        4,
+		OnChipFraction: 0.5,
+		MaxInjectHops:  0,
+		Caches:         proto.DefaultCacheGeom(l1, l2),
+		Timing:         proto.DefaultTiming(128),
+		Costs:          proto.AGGCosts().Scale(proto.HardwareScale),
+		Mesh:           mc,
+	}
+}
+
+// Machine is the Flat COMA engine.
+type Machine struct {
+	cfg Config
+	net *mesh.Mesh
+
+	caches []*proto.CacheSet
+	am     []*cache.LocalMemory
+	hproc  []sim.Resource
+	bank   []sim.Resource
+	disk   []sim.Resource
+
+	dir      map[uint64]*dirEntry
+	homes    map[uint64]int // page -> directory home (first touch)
+	provider map[uint64]int // line -> node that last supplied it (injection target)
+
+	allNodes []int
+	st       stats.Machine
+}
+
+// New builds a COMA machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("coma: need at least one node")
+	}
+	mc := cfg.Mesh
+	if mc.Width == 0 || mc.Height == 0 {
+		mc.Width = 8
+		if cfg.Nodes < 8 {
+			mc.Width = cfg.Nodes
+		}
+		mc.Height = (cfg.Nodes + mc.Width - 1) / mc.Width
+	}
+	net, err := mesh.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		net:      net,
+		dir:      make(map[uint64]*dirEntry),
+		homes:    make(map[uint64]int),
+		provider: make(map[uint64]int),
+	}
+	m.caches = make([]*proto.CacheSet, cfg.Nodes)
+	m.am = make([]*cache.LocalMemory, cfg.Nodes)
+	m.hproc = make([]sim.Resource, cfg.Nodes)
+	m.bank = make([]sim.Resource, cfg.Nodes)
+	m.disk = make([]sim.Resource, cfg.Nodes)
+	for i := range m.caches {
+		cs, err := proto.NewCacheSet(cfg.Caches, cfg.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.caches[i] = cs
+		am, err := cache.NewLocal(cfg.AMBytes, cfg.LineBytes, cfg.AMAssoc, cfg.OnChipFraction)
+		if err != nil {
+			return nil, err
+		}
+		m.am[i] = am
+	}
+	m.allNodes = make([]int, cfg.Nodes)
+	for i := range m.allNodes {
+		m.allNodes[i] = i
+	}
+	return m, nil
+}
+
+// rank implements the paper's COMA replacement policy: invalid (handled by
+// the cache) and non-master lines are replaced first.
+func rank(s cache.State) int {
+	if s == cache.Shared {
+		return 0
+	}
+	return 1
+}
+
+// LineBytes returns the coherence unit size.
+func (m *Machine) LineBytes() uint64 { return m.cfg.LineBytes }
+
+// Stats returns the machine's counters.
+func (m *Machine) Stats() *stats.Machine { return &m.st }
+
+// Mesh returns the interconnect.
+func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+// AMOf exposes a node's attraction memory for tests.
+func (m *Machine) AMOf(n int) *cache.LocalMemory { return m.am[n] }
+
+func (m *Machine) alignLine(addr uint64) uint64 { return addr &^ (m.cfg.LineBytes - 1) }
+func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageBytes - 1) }
+
+func (m *Machine) homeFor(p int, addr uint64) int {
+	page := m.pageOf(addr)
+	h, ok := m.homes[page]
+	if !ok {
+		h = p
+		m.homes[page] = h
+		m.st.FirstTouches++
+	}
+	return h
+}
+
+func (m *Machine) entry(line uint64) *dirEntry {
+	e, ok := m.dir[line]
+	if !ok {
+		e = &dirEntry{master: -1}
+		m.dir[line] = e
+	}
+	return e
+}
+
+// hopClass classifies a transaction by distinct node hops: requester->home->
+// supplier->requester collapses when roles coincide.
+func hopClass(p, home, supplier int) proto.LatClass {
+	if home == p && supplier == p {
+		return proto.LatMem
+	}
+	if home == p || supplier == home {
+		return proto.Lat2Hop
+	}
+	return proto.Lat3Hop
+}
+
+// Access services a load or store by node p at time now.
+func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	done, class := m.access(now, p, addr, write)
+	if write {
+		m.st.Write(class, done-now)
+	} else {
+		m.st.Read(class, done-now)
+	}
+	return done, class
+}
+
+func (m *Machine) access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	if hit, class, _ := m.caches[p].Lookup(addr, write); hit {
+		lat := m.cfg.Timing.L1Lat
+		if class == proto.LatL2 {
+			lat = m.cfg.Timing.L2Lat
+		}
+		return now + lat, class
+	}
+
+	// Attraction memory.
+	line := m.alignLine(addr)
+	st, hit, onChip := m.am[p].Access(addr)
+	bankStart := m.bank[p].Acquire(now, m.cfg.Timing.MemBankOcc)
+	memLat := m.cfg.Timing.MemOffChip
+	if onChip || !hit {
+		memLat = m.cfg.Timing.MemOnChip
+	}
+	memDone := bankStart + memLat
+	if hit && (!write || st == cache.Dirty) {
+		m.caches[p].Fill(addr, st == cache.Dirty)
+		return memDone, proto.LatMem
+	}
+
+	home := m.homeFor(p, addr)
+	e := m.entry(line)
+	if write {
+		return m.writeMiss(memDone, p, home, addr, line, e, hit)
+	}
+	return m.readMiss(memDone, p, home, addr, line, e)
+}
+
+// dirAt charges the directory handler at the home: a network message when
+// the home is remote, just handler occupancy when it is on chip.
+func (m *Machine) dirAt(t sim.Time, p, home int, occ sim.Time) sim.Time {
+	if home != p {
+		t = m.net.Send(t, p, home, m.net.ControlBytes())
+	}
+	return m.hproc[home].Acquire(t, occ)
+}
+
+func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dirEntry) (sim.Time, proto.LatClass) {
+	data := m.net.DataBytes(m.cfg.LineBytes)
+	ctrl := m.net.ControlBytes()
+	hs := m.dirAt(reqT, p, home, m.cfg.Costs.ReadOcc)
+
+	var done sim.Time
+	supplier := home
+	fillState := cache.Shared
+
+	switch e.state {
+	case dirUnfetched:
+		// Zero-fill from the home's memory controller; the first toucher
+		// becomes the master.
+		m.bank[home].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(hs+m.cfg.Costs.ReadLat, home, p, data)
+		e.state = dirShared
+		e.master = int32(p)
+		e.sharers.Add(p)
+		fillState = cache.SharedMaster
+	case dirSwapped:
+		// The line was swapped out after an injection overflow.
+		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
+		m.st.DiskFaults++
+		e.state = dirShared
+		e.master = int32(p)
+		e.sharers.Add(p)
+		fillState = cache.SharedMaster
+	default:
+		q := int(e.master)
+		if q == p {
+			panic("coma: read miss by the master holder")
+		}
+		supplier = q
+		var at sim.Time
+		if q == home {
+			at = hs
+		} else {
+			at = m.net.Send(hs+m.cfg.Costs.ReadLat, home, q, ctrl)
+		}
+		qs := m.bank[q].Acquire(at, m.cfg.Timing.MemBankOcc)
+		sendT := qs + m.amLat(q, line)
+		done = m.net.Send(sendT, q, p, data)
+		if e.state == dirDirty {
+			// Master downgrades but keeps mastership (flat COMA: no copy
+			// goes back to the home).
+			m.am[q].SetState(line, cache.SharedMaster)
+			m.caches[q].DowngradeMemLine(line)
+			e.state = dirShared
+		}
+		e.sharers.Add(p)
+		fillState = cache.Shared
+	}
+	class := hopClass(p, home, supplier)
+	m.fill(done, p, addr, fillState, false, supplier)
+	return done, class
+}
+
+func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *dirEntry, upgrade bool) (sim.Time, proto.LatClass) {
+	data := m.net.DataBytes(m.cfg.LineBytes)
+	ctrl := m.net.ControlBytes()
+
+	targets := e.sharers.Targets(nil, m.allNodes, p)
+	occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
+	hs := m.dirAt(reqT, p, home, occ)
+	replyT := hs + m.cfg.Costs.ReadExLat
+
+	var done sim.Time
+	supplier := home
+
+	switch {
+	case e.state == dirUnfetched:
+		m.bank[home].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(replyT, home, p, data)
+	case e.state == dirSwapped:
+		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
+		m.st.DiskFaults++
+	case upgrade:
+		// p holds a readable (non-master) copy; ownership grant only.
+		done = m.net.Send(replyT, home, p, ctrl)
+		m.st.Upgrades++
+	default:
+		q := int(e.master)
+		if q == p {
+			panic("coma: write miss by the master holder")
+		}
+		supplier = q
+		var at sim.Time
+		if q == home {
+			at = hs
+		} else {
+			at = m.net.Send(replyT, home, q, ctrl)
+		}
+		qs := m.bank[q].Acquire(at, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(qs+m.amLat(q, line), q, p, data)
+	}
+
+	// Invalidate every other copy; acks race the data to the requester.
+	for _, q := range targets {
+		iv := m.net.Send(replyT, home, q, ctrl)
+		m.am[q].Invalidate(line)
+		m.caches[q].InvalidateMemLine(line)
+		m.st.Invalidations++
+		if ack := m.net.Send(iv, q, p, ctrl); ack > done {
+			done = ack
+		}
+	}
+
+	class := hopClass(p, home, supplier)
+	e.state = dirDirty
+	e.master = int32(p)
+	e.sharers.Clear()
+	e.sharers.Add(p)
+	if upgrade {
+		if !m.am[p].SetState(line, cache.Dirty) {
+			panic("coma: upgrade of a line absent from the attraction memory")
+		}
+		m.caches[p].Fill(addr, true)
+	} else {
+		m.fill(done, p, addr, cache.Dirty, true, supplier)
+	}
+	return done, class
+}
+
+// amLat is node q's attraction-memory latency for a line it holds.
+func (m *Machine) amLat(q int, line uint64) sim.Time {
+	_, hit, onChip := m.am[q].Lookup(line)
+	if hit && onChip {
+		return m.cfg.Timing.MemOnChip
+	}
+	return m.cfg.Timing.MemOffChip
+}
+
+// fill inserts a fetched line into p's attraction memory and caches.
+// Displaced non-master shared lines are dropped silently; a displaced master
+// must be injected into another attraction memory.
+func (m *Machine) fill(when sim.Time, p int, addr uint64, st cache.State, writable bool, supplier int) {
+	line := m.alignLine(addr)
+	m.provider[line] = supplier
+	v := m.am[p].Insert(line, st, rank)
+	m.caches[p].Fill(addr, writable)
+	if !v.Valid() {
+		return
+	}
+	m.caches[p].InvalidateMemLine(v.Addr)
+	if v.State.Owned() {
+		m.inject(when, p, v.Addr, v.State)
+	}
+	// Non-master shared victims vanish silently (stale sharer pointers are
+	// harmless: later invalidations to them are no-ops).
+}
+
+// inject relocates a displaced master line (Joe & Hennessy): first to the
+// node that provided the line whose arrival caused the displacement, then
+// cascading node to node while the candidate sets are full of other masters.
+// If the cascade exceeds MaxInjectHops the line is swapped out to disk at
+// its home — COMA's overflow safety valve.
+func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
+	e := m.entry(line)
+	if int(e.master) != from {
+		panic(fmt.Sprintf("coma: injecting %#x from %d but master is %d", line, from, e.master))
+	}
+	data := m.net.DataBytes(m.cfg.LineBytes)
+	target := m.provider[line]
+	if target == from || target < 0 || target >= m.cfg.Nodes {
+		target = (from + 1) % m.cfg.Nodes
+	}
+	cur := from
+	maxHops := m.cfg.MaxInjectHops
+	if maxHops <= 0 {
+		maxHops = m.cfg.Nodes
+	}
+	for hop := 0; hop < maxHops; hop++ {
+		arrive := m.net.Send(t, cur, target, data)
+		hs := m.hproc[target].Acquire(arrive, m.cfg.Costs.WBOcc)
+		m.bank[target].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		v := m.am[target].ProbeVictim(line, rank)
+		if !v.State.Owned() {
+			m.am[target].Insert(line, st, rank)
+			if v.Valid() {
+				m.caches[target].InvalidateMemLine(v.Addr)
+			}
+			e.master = int32(target)
+			e.sharers.Remove(from)
+			e.sharers.Add(target)
+			m.st.Injections++
+			m.st.InjectionHops += uint64(hop + 1)
+			return
+		}
+		// This set is all masters: pass the line on.
+		t = hs
+		cur = target
+		target = (target + 1) % m.cfg.Nodes
+		if target == from {
+			target = (target + 1) % m.cfg.Nodes
+		}
+	}
+	// Overflow: swap to disk at the home, invalidating the straggler
+	// non-master copies so no stale data survives.
+	home := m.homeFor(from, line)
+	arrive := m.net.Send(t, cur, home, data)
+	hs := m.hproc[home].Acquire(arrive, m.cfg.Costs.WBOcc)
+	m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+	for _, q := range e.sharers.Targets(nil, m.allNodes, from) {
+		m.net.Send(hs, home, q, m.net.ControlBytes())
+		m.am[q].Invalidate(line)
+		m.caches[q].InvalidateMemLine(line)
+		m.st.Invalidations++
+	}
+	e.state = dirSwapped
+	e.master = -1
+	e.sharers.Clear()
+	m.st.Overflows++
+}

@@ -1,0 +1,721 @@
+// Package core implements the paper's primary contribution: the AGG DSM
+// organization. It contains the D-node software-managed memory of §2.2.2
+// (the Directory, Data and Pointer arrays with their FreeList and SharedList)
+// and the AGG coherence protocol engine that runs over tagged P-node
+// memories, including the shared-master state, write-backs that are always
+// accepted by the home, and pageout instead of COMA-style injection.
+package core
+
+import (
+	"fmt"
+
+	"pimdsm/internal/proto"
+)
+
+// DirState is the stable directory state of a memory line at its home D-node.
+type DirState uint8
+
+const (
+	// DirHome: the home holds the only (master) copy — "D-Node Only" in the
+	// paper's Figure 8 — or the line is unfetched/on disk with no copy
+	// anywhere.
+	DirHome DirState = iota
+	// DirShared: at least one P-node caches the line read-only. The master
+	// copy is either at a P-node (given out on first read) or at the home.
+	DirShared
+	// DirDirty: exactly one P-node owns the only, writable copy. The home
+	// keeps no place holder (its Data slot is reused).
+	DirDirty
+)
+
+// String returns a short state name.
+func (s DirState) String() string {
+	switch s {
+	case DirHome:
+		return "Home"
+	case DirShared:
+		return "Shared"
+	case DirDirty:
+		return "Dirty"
+	}
+	return fmt.Sprintf("DirState(%d)", uint8(s))
+}
+
+// HomeMaster is the Master value meaning the home D-node holds the master copy.
+const HomeMaster = -1
+
+// nilPtr is the nil value for Data-slot and list indices.
+const nilPtr = int32(-1)
+
+// DirEntry is one entry of the Directory array: directory state plus the
+// Local Pointer into the Data array (§2.2.2, Figure 3).
+type DirEntry struct {
+	Addr    uint64 // line-aligned address
+	State   DirState
+	Master  int32        // P-node with the master copy, or HomeMaster
+	Sharers proto.PtrVec // P-nodes caching the line (limited 3-pointer vector)
+	// LocalPtr indexes the Data array; nilPtr when the home keeps no copy.
+	LocalPtr int32
+	// Unfetched marks a line that has never been materialized: a first
+	// write is satisfied with zero-fill and needs no Data slot.
+	Unfetched bool
+	// OnDisk marks a line whose backing data was paged out; touching it
+	// costs a disk access.
+	OnDisk bool
+}
+
+// HasCopy reports whether the home currently stores the line's data.
+func (e *DirEntry) HasCopy() bool { return e.LocalPtr != nilPtr }
+
+type listID uint8
+
+const (
+	listNone listID = iota
+	listFree
+	listShared
+)
+
+// ptrEntry is one entry of the Pointer array: a back pointer to the
+// Directory (the line address) and Prev/Next links tying the associated Data
+// entry to the FreeList or SharedList (§2.2.2).
+type ptrEntry struct {
+	line       uint64 // back pointer (DirPtr); meaningful only when used
+	used       bool
+	prev, next int32
+	list       listID
+}
+
+// DMemStats counts D-node memory management events.
+type DMemStats struct {
+	SlotAllocs    uint64 // Data slots handed out
+	SharedReuses  uint64 // SharedList head reused to satisfy an allocation
+	PageoutsAsked uint64 // allocations that found no slot at all
+	PagesMapped   uint64
+	PagesUnmapped uint64
+	SetConflicts  uint64 // set-associative mode: incoming line found its set full
+}
+
+// Census is the Figure 8 line-state classification for one D-node.
+type Census struct {
+	DirtyInP  int // only copy is dirty at a P-node (no home slot)
+	SharedInP int // ≥1 P-node caches it (home may or may not hold a copy)
+	DNodeOnly int // home holds the only copy (occupies a Data slot)
+	Untouched int // mapped but never materialized (no slot, no copies)
+	FreeSlots int // unused Data entries
+	SlotCap   int // total Data entries
+}
+
+// DMem is the software-managed memory of one D-node: the Directory, Data and
+// Pointer arrays of §2.2.2. Data-slot contents are not stored (the simulator
+// is timing-accurate, not data-accurate); the structure faithfully tracks
+// slot occupancy, the FreeList and the FIFO SharedList.
+type DMem struct {
+	dataCap   int
+	dirCap    int
+	lineBytes uint64
+	pageBytes uint64
+
+	ptrs                   []ptrEntry
+	freeHead, freeTail     int32
+	sharedHead, sharedTail int32
+	freeLen, sharedLen     int
+
+	// sharedMin is the SharedList low-water mark: when an allocation would
+	// shrink SharedList below it, the caller should page out instead of
+	// reusing more shared slots (the paper's threshold).
+	sharedMin int
+
+	entries map[uint64]*DirEntry
+	pages   []uint64 // mapped pages in map order (FIFO pageout victims)
+	pageIdx map[uint64]int
+	onDisk  map[uint64]bool // pages whose data was written to disk
+
+	// Set-associative mode (§2.2.2's rejected alternative, kept as an
+	// ablation): when saAssoc > 0, a line may only occupy a slot of its
+	// set, so an incoming line can find its set full even though the
+	// FreeList is not empty — the situation that would force COMA-style
+	// injections and that the paper's fully-associative software
+	// organization avoids.
+	saAssoc int
+	saCount []int
+
+	Stats DMemStats
+}
+
+// NewDMem builds a D-node memory with dataLines Data/Pointer entries and
+// dirEntries Directory entries (the paper evaluates dirEntries = 1.5 ×
+// dataLines). sharedMin is the SharedList reuse threshold.
+func NewDMem(dataLines, dirEntries int, lineBytes, pageBytes uint64, sharedMin int) (*DMem, error) {
+	if dataLines <= 0 || dirEntries < dataLines {
+		return nil, fmt.Errorf("core: invalid D-memory geometry: %d data, %d directory entries", dataLines, dirEntries)
+	}
+	if pageBytes == 0 || lineBytes == 0 || pageBytes%lineBytes != 0 {
+		return nil, fmt.Errorf("core: page size %d not a multiple of line size %d", pageBytes, lineBytes)
+	}
+	d := &DMem{
+		dataCap:    dataLines,
+		dirCap:     dirEntries,
+		lineBytes:  lineBytes,
+		pageBytes:  pageBytes,
+		ptrs:       make([]ptrEntry, dataLines),
+		freeHead:   nilPtr,
+		freeTail:   nilPtr,
+		sharedHead: nilPtr,
+		sharedTail: nilPtr,
+		sharedMin:  sharedMin,
+		entries:    make(map[uint64]*DirEntry),
+		pageIdx:    make(map[uint64]int),
+		onDisk:     make(map[uint64]bool),
+	}
+	for i := range d.ptrs {
+		d.ptrs[i].prev, d.ptrs[i].next = nilPtr, nilPtr
+		d.pushTail(listFree, int32(i))
+	}
+	return d, nil
+}
+
+// MustNewDMem is NewDMem, panicking on error.
+func MustNewDMem(dataLines, dirEntries int, lineBytes, pageBytes uint64, sharedMin int) *DMem {
+	d, err := NewDMem(dataLines, dirEntries, lineBytes, pageBytes, sharedMin)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// --- intrusive list plumbing ---
+
+func (d *DMem) head(l listID) *int32 {
+	if l == listFree {
+		return &d.freeHead
+	}
+	return &d.sharedHead
+}
+
+func (d *DMem) tail(l listID) *int32 {
+	if l == listFree {
+		return &d.freeTail
+	}
+	return &d.sharedTail
+}
+
+func (d *DMem) length(l listID) *int {
+	if l == listFree {
+		return &d.freeLen
+	}
+	return &d.sharedLen
+}
+
+func (d *DMem) pushTail(l listID, i int32) {
+	p := &d.ptrs[i]
+	if p.list != listNone {
+		panic("core: pointer entry already on a list")
+	}
+	p.list = l
+	p.next = nilPtr
+	p.prev = *d.tail(l)
+	if p.prev != nilPtr {
+		d.ptrs[p.prev].next = i
+	} else {
+		*d.head(l) = i
+	}
+	*d.tail(l) = i
+	*d.length(l)++
+}
+
+func (d *DMem) unlink(i int32) {
+	p := &d.ptrs[i]
+	l := p.list
+	if l == listNone {
+		return
+	}
+	if p.prev != nilPtr {
+		d.ptrs[p.prev].next = p.next
+	} else {
+		*d.head(l) = p.next
+	}
+	if p.next != nilPtr {
+		d.ptrs[p.next].prev = p.prev
+	} else {
+		*d.tail(l) = p.prev
+	}
+	p.prev, p.next, p.list = nilPtr, nilPtr, listNone
+	*d.length(l)--
+}
+
+func (d *DMem) popHead(l listID) (int32, bool) {
+	h := *d.head(l)
+	if h == nilPtr {
+		return nilPtr, false
+	}
+	d.unlink(h)
+	return h, true
+}
+
+// --- geometry / lookup ---
+
+// LineBytes returns the memory line size.
+func (d *DMem) LineBytes() uint64 { return d.lineBytes }
+
+// PageBytes returns the page size.
+func (d *DMem) PageBytes() uint64 { return d.pageBytes }
+
+// DataCap returns the number of Data slots.
+func (d *DMem) DataCap() int { return d.dataCap }
+
+// FreeLen returns the FreeList length.
+func (d *DMem) FreeLen() int { return d.freeLen }
+
+// SharedLen returns the SharedList length.
+func (d *DMem) SharedLen() int { return d.sharedLen }
+
+// PageOf returns the page address containing addr.
+func (d *DMem) PageOf(addr uint64) uint64 { return addr &^ (d.pageBytes - 1) }
+
+// AlignLine returns addr rounded down to a line boundary.
+func (d *DMem) AlignLine(addr uint64) uint64 { return addr &^ (d.lineBytes - 1) }
+
+// Entry returns the directory entry for the line containing addr, or nil if
+// its page is not mapped here.
+func (d *DMem) Entry(addr uint64) *DirEntry { return d.entries[d.AlignLine(addr)] }
+
+// PageMapped reports whether page is currently mapped at this D-node.
+func (d *DMem) PageMapped(page uint64) bool { _, ok := d.pageIdx[page]; return ok }
+
+// PageOnDisk reports whether page was previously paged out to disk.
+func (d *DMem) PageOnDisk(page uint64) bool { return d.onDisk[page] }
+
+// DirRoom reports whether the Directory array can accept another page's
+// worth of entries.
+func (d *DMem) DirRoom() bool {
+	return len(d.entries)+int(d.pageBytes/d.lineBytes) <= d.dirCap
+}
+
+// MappedPages returns the number of pages currently mapped.
+func (d *DMem) MappedPages() int { return len(d.pages) }
+
+// MappedLines returns the number of directory entries in use.
+func (d *DMem) MappedLines() int { return len(d.entries) }
+
+// --- page mapping ---
+
+// MapPage creates directory entries for every line of page. Each D-node
+// keeps as many directory entries as memory lines exist in the pages it has
+// mapped (§2.2.2); the caller must ensure DirRoom (paging out first if not).
+// If the page's data is on disk the lines are marked OnDisk; otherwise they
+// are Unfetched (zero-fill on demand, no Data slot consumed).
+func (d *DMem) MapPage(page uint64) error {
+	if page%d.pageBytes != 0 {
+		return fmt.Errorf("core: unaligned page %#x", page)
+	}
+	if d.PageMapped(page) {
+		return fmt.Errorf("core: page %#x already mapped", page)
+	}
+	if !d.DirRoom() {
+		return fmt.Errorf("core: directory array full (%d/%d entries)", len(d.entries), d.dirCap)
+	}
+	fromDisk := d.onDisk[page]
+	for a := page; a < page+d.pageBytes; a += d.lineBytes {
+		d.entries[a] = &DirEntry{
+			Addr:      a,
+			State:     DirHome,
+			Master:    HomeMaster,
+			LocalPtr:  nilPtr,
+			Unfetched: !fromDisk,
+			OnDisk:    fromDisk,
+		}
+	}
+	d.pageIdx[page] = len(d.pages)
+	d.pages = append(d.pages, page)
+	delete(d.onDisk, page)
+	d.Stats.PagesMapped++
+	return nil
+}
+
+// PageLines calls fn for each directory entry of a mapped page, in address
+// order.
+func (d *DMem) PageLines(page uint64, fn func(*DirEntry)) {
+	for a := page; a < page+d.pageBytes; a += d.lineBytes {
+		if e := d.entries[a]; e != nil {
+			fn(e)
+		}
+	}
+}
+
+// UnmapPage removes a page's directory entries, releasing any Data slots
+// they held, and records the page as resident on disk. The caller must
+// already have recalled/invalidated all P-node copies of the page's lines
+// (the OS "recalls the lines that are currently not in the D-node memory",
+// §2.2.2).
+func (d *DMem) UnmapPage(page uint64) error {
+	idx, ok := d.pageIdx[page]
+	if !ok {
+		return fmt.Errorf("core: unmap of unmapped page %#x", page)
+	}
+	for a := page; a < page+d.pageBytes; a += d.lineBytes {
+		e := d.entries[a]
+		if e == nil {
+			continue
+		}
+		if e.State != DirHome {
+			return fmt.Errorf("core: unmap of page %#x with un-recalled line %#x in state %v", page, a, e.State)
+		}
+		if e.LocalPtr != nilPtr {
+			d.releaseSlot(e)
+		}
+		delete(d.entries, a)
+	}
+	// Remove from the FIFO page list (swap-with-last keeps this O(1); the
+	// FIFO ordering of the remaining pages is preserved well enough for
+	// victim selection because pageout always takes from the front).
+	last := len(d.pages) - 1
+	d.pages[idx] = d.pages[last]
+	d.pageIdx[d.pages[idx]] = idx
+	d.pages = d.pages[:last]
+	delete(d.pageIdx, page)
+	d.onDisk[page] = true
+	d.Stats.PagesUnmapped++
+	return nil
+}
+
+// PageoutCandidates returns up to n pages to page out, oldest mapped first,
+// excluding the page containing protect (the line being serviced).
+func (d *DMem) PageoutCandidates(n int, protect uint64) []uint64 {
+	prot := d.PageOf(protect)
+	var out []uint64
+	for _, p := range d.pages {
+		if p == prot {
+			continue
+		}
+		out = append(out, p)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// --- Data slot management ---
+
+// AllocResult describes how a Data slot was (or was not) obtained.
+type AllocResult uint8
+
+const (
+	// AllocFree: a FreeList slot was used.
+	AllocFree AllocResult = iota
+	// AllocSharedReuse: the SharedList head was reused; that line's home
+	// copy was dropped (its master lives on at a P-node).
+	AllocSharedReuse
+	// AllocFailed: no slot available — the caller must page out and retry.
+	AllocFailed
+)
+
+// ConfigureSetAssoc switches the Data array into assoc-way set-associative
+// mode — the §2.2.2 alternative the paper rejects. Must be called before
+// any slot is allocated.
+func (d *DMem) ConfigureSetAssoc(assoc int) {
+	if assoc <= 0 || d.dataCap%assoc != 0 {
+		panic(fmt.Sprintf("core: invalid D-memory associativity %d for %d slots", assoc, d.dataCap))
+	}
+	if d.freeLen != d.dataCap {
+		panic("core: ConfigureSetAssoc on a non-empty D-memory")
+	}
+	d.saAssoc = assoc
+	d.saCount = make([]int, d.dataCap/assoc)
+}
+
+// saSet returns the Data set index of a line in set-associative mode.
+func (d *DMem) saSet(addr uint64) int {
+	return int((addr / d.lineBytes) % uint64(len(d.saCount)))
+}
+
+// setFull reports whether e's line cannot be stored because its Data set is
+// full (set-associative mode only).
+func (d *DMem) setFull(e *DirEntry) bool {
+	return d.saAssoc > 0 && d.saCount[d.saSet(e.Addr)] >= d.saAssoc
+}
+
+// EnsureSlot makes e hold a Data slot, following the paper's policy: take
+// the FreeList head; if exhausted, reuse the SharedList head unless that
+// would drop SharedList below the threshold. dropped is the directory entry
+// whose home copy was discarded on reuse (nil otherwise). In the
+// set-associative ablation an allocation additionally fails when the line's
+// set is full — first trying to reuse a *same-set* SharedList resident.
+func (d *DMem) EnsureSlot(e *DirEntry) (res AllocResult, dropped *DirEntry) {
+	if e.LocalPtr != nilPtr {
+		return AllocFree, nil
+	}
+	if d.saAssoc > 0 {
+		// Set-associative mode: only this line's set can hold it.
+		if !d.setFull(e) {
+			if i, ok := d.popHead(listFree); ok {
+				d.attach(e, i)
+				d.Stats.SlotAllocs++
+				return AllocFree, nil
+			}
+		}
+		if victim := d.reuseSharedInSet(e); victim != nil {
+			return AllocSharedReuse, victim
+		}
+		d.Stats.SetConflicts++
+		d.Stats.PageoutsAsked++
+		return AllocFailed, nil
+	}
+	if i, ok := d.popHead(listFree); ok {
+		d.attach(e, i)
+		d.Stats.SlotAllocs++
+		return AllocFree, nil
+	}
+	if d.sharedLen > d.sharedMin {
+		i, ok := d.popHead(listShared)
+		if ok {
+			victim := d.entries[d.ptrs[i].line]
+			if victim == nil || victim.LocalPtr != i {
+				panic("core: SharedList back pointer desynchronized")
+			}
+			d.dropCopy(victim)
+			d.attach(e, i)
+			d.Stats.SlotAllocs++
+			d.Stats.SharedReuses++
+			return AllocSharedReuse, victim
+		}
+	}
+	d.Stats.PageoutsAsked++
+	return AllocFailed, nil
+}
+
+// dropCopy releases victim's slot bookkeeping after its Pointer entry was
+// unlinked for reuse.
+func (d *DMem) dropCopy(victim *DirEntry) {
+	if d.saAssoc > 0 {
+		d.saCount[d.saSet(victim.Addr)]--
+	}
+	i := victim.LocalPtr
+	victim.LocalPtr = nilPtr
+	d.ptrs[i].used = false
+}
+
+// reuseSharedInSet searches the SharedList (FIFO order, bounded walk) for a
+// droppable home copy in the same Data set as e, the only legal reuse in
+// set-associative mode. It performs the swap and returns the dropped entry,
+// or nil.
+func (d *DMem) reuseSharedInSet(e *DirEntry) *DirEntry {
+	want := d.saSet(e.Addr)
+	i := d.sharedHead
+	for steps := 0; i != nilPtr && steps < 64; steps++ {
+		victim := d.entries[d.ptrs[i].line]
+		next := d.ptrs[i].next
+		if victim != nil && d.saSet(victim.Addr) == want {
+			d.unlink(i)
+			d.dropCopy(victim)
+			d.attach(e, i)
+			d.Stats.SlotAllocs++
+			d.Stats.SharedReuses++
+			return victim
+		}
+		i = next
+	}
+	return nil
+}
+
+// attach binds Data slot i to entry e (not on any list yet; LinkShared or
+// leaving it unlinked reflects mastership).
+func (d *DMem) attach(e *DirEntry, i int32) {
+	p := &d.ptrs[i]
+	if p.used || p.list != listNone {
+		panic("core: attaching a busy pointer entry")
+	}
+	p.used = true
+	p.line = e.Addr
+	e.LocalPtr = i
+	e.Unfetched = false
+	e.OnDisk = false
+	if d.saAssoc > 0 {
+		d.saCount[d.saSet(e.Addr)]++
+	}
+}
+
+// releaseSlot frees e's Data slot back to the FreeList (e.g. when the line
+// became dirty at a P-node and the home's place holder is reused, §2.2.2).
+func (d *DMem) releaseSlot(e *DirEntry) {
+	i := e.LocalPtr
+	if i == nilPtr {
+		return
+	}
+	d.unlink(i)
+	d.dropCopy(e)
+	d.pushTail(listFree, i)
+}
+
+// ReleaseSlot frees e's Data slot (exported form of releaseSlot).
+func (d *DMem) ReleaseSlot(e *DirEntry) { d.releaseSlot(e) }
+
+// LinkShared ties e's slot to the SharedList tail: the home copy is a
+// non-master shared copy (mastership was given to a P-node) and may be
+// reclaimed FIFO if space runs short.
+func (d *DMem) LinkShared(e *DirEntry) {
+	if e.LocalPtr == nilPtr {
+		panic("core: LinkShared without a Data slot")
+	}
+	if d.ptrs[e.LocalPtr].list == listShared {
+		return
+	}
+	d.unlink(e.LocalPtr)
+	d.pushTail(listShared, e.LocalPtr)
+}
+
+// UnlinkShared removes e's slot from the SharedList: the home (re)gained
+// mastership, so its copy must not be dropped.
+func (d *DMem) UnlinkShared(e *DirEntry) {
+	if e.LocalPtr == nilPtr {
+		return
+	}
+	if d.ptrs[e.LocalPtr].list == listShared {
+		d.unlink(e.LocalPtr)
+	}
+}
+
+// ForceSlot is EnsureSlot's crisis fallback: it reuses the SharedList head
+// even below the threshold (the paper's "high-priority pause" region). It
+// reports success and the entry whose home copy was dropped.
+func (d *DMem) ForceSlot(e *DirEntry) (bool, *DirEntry) {
+	if e.LocalPtr != nilPtr {
+		return true, nil
+	}
+	if d.saAssoc > 0 {
+		// Set-associative mode: only a same-set resident can be displaced.
+		if !d.setFull(e) {
+			if i, ok := d.popHead(listFree); ok {
+				d.attach(e, i)
+				d.Stats.SlotAllocs++
+				return true, nil
+			}
+		}
+		if victim := d.reuseSharedInSet(e); victim != nil {
+			return true, victim
+		}
+		return false, nil
+	}
+	i, ok := d.popHead(listShared)
+	if !ok {
+		return false, nil
+	}
+	victim := d.entries[d.ptrs[i].line]
+	if victim == nil || victim.LocalPtr != i {
+		panic("core: SharedList back pointer desynchronized")
+	}
+	d.dropCopy(victim)
+	d.attach(e, i)
+	d.Stats.SlotAllocs++
+	d.Stats.SharedReuses++
+	return true, victim
+}
+
+// NeedPageout reports that free space is low enough that the OS should page
+// out (FreeList empty and SharedList at or below the threshold).
+func (d *DMem) NeedPageout() bool {
+	return d.freeLen == 0 && d.sharedLen <= d.sharedMin
+}
+
+// --- accounting / verification ---
+
+// CensusAdd accumulates this D-node's Figure 8 classification into c.
+func (d *DMem) CensusAdd(c *Census) {
+	for _, e := range d.entries {
+		switch {
+		case e.State == DirDirty:
+			c.DirtyInP++
+		case e.State == DirShared:
+			c.SharedInP++
+		case e.LocalPtr != nilPtr:
+			c.DNodeOnly++
+		default:
+			c.Untouched++
+		}
+	}
+	c.FreeSlots += d.freeLen
+	c.SlotCap += d.dataCap
+}
+
+// CheckInvariants verifies the Directory/Data/Pointer cross-links and list
+// accounting. It is exercised by tests and property checks.
+func (d *DMem) CheckInvariants() error {
+	// Every slot is free xor used; lists are consistent.
+	free, shared, noList := 0, 0, 0
+	for i := range d.ptrs {
+		p := &d.ptrs[i]
+		switch p.list {
+		case listFree:
+			free++
+			if p.used {
+				return fmt.Errorf("slot %d on FreeList but used", i)
+			}
+		case listShared:
+			shared++
+			if !p.used {
+				return fmt.Errorf("slot %d on SharedList but free", i)
+			}
+			e := d.entries[p.line]
+			if e == nil || e.LocalPtr != int32(i) {
+				return fmt.Errorf("slot %d SharedList back pointer broken", i)
+			}
+			if e.State != DirShared || e.Master == HomeMaster {
+				return fmt.Errorf("slot %d on SharedList but entry %v/master=%d", i, e.State, e.Master)
+			}
+		case listNone:
+			noList++
+			if !p.used {
+				return fmt.Errorf("slot %d off-list but free", i)
+			}
+		}
+	}
+	if free != d.freeLen || shared != d.sharedLen {
+		return fmt.Errorf("list lengths: free %d/%d shared %d/%d", free, d.freeLen, shared, d.sharedLen)
+	}
+	if free+shared+noList != d.dataCap {
+		return fmt.Errorf("slots don't add up: %d+%d+%d != %d", free, shared, noList, d.dataCap)
+	}
+	// Every entry with a slot is backed by it; dirty entries hold no slot.
+	slots := 0
+	for a, e := range d.entries {
+		if a != e.Addr {
+			return fmt.Errorf("entry key %#x != addr %#x", a, e.Addr)
+		}
+		if e.LocalPtr != nilPtr {
+			slots++
+			p := &d.ptrs[e.LocalPtr]
+			if !p.used || p.line != e.Addr {
+				return fmt.Errorf("entry %#x slot %d back pointer broken", a, e.LocalPtr)
+			}
+			if e.State == DirDirty {
+				return fmt.Errorf("entry %#x dirty-in-P but holds a Data slot", a)
+			}
+		}
+		if e.State == DirShared && e.Master == HomeMaster && e.LocalPtr == nilPtr {
+			return fmt.Errorf("entry %#x: home is master of a shared line but holds no copy", a)
+		}
+	}
+	if slots != noList+shared {
+		return fmt.Errorf("used slots %d != entries with slots %d", noList+shared, slots)
+	}
+	if len(d.entries) > d.dirCap {
+		return fmt.Errorf("directory overflow: %d > %d", len(d.entries), d.dirCap)
+	}
+	if d.saAssoc > 0 {
+		counts := make([]int, len(d.saCount))
+		for _, e := range d.entries {
+			if e.LocalPtr != nilPtr {
+				counts[d.saSet(e.Addr)]++
+			}
+		}
+		for s := range counts {
+			if counts[s] != d.saCount[s] {
+				return fmt.Errorf("set %d count %d != recorded %d", s, counts[s], d.saCount[s])
+			}
+			if counts[s] > d.saAssoc {
+				return fmt.Errorf("set %d over-full: %d > %d ways", s, counts[s], d.saAssoc)
+			}
+		}
+	}
+	return nil
+}

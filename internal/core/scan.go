@@ -1,0 +1,101 @@
+package core
+
+import (
+	"pimdsm/internal/cache"
+	"pimdsm/internal/sim"
+)
+
+// Scan implements computation in memory (§2.4): the home D-node's processor
+// traverses lines memory lines starting at addr on behalf of P-node p,
+// shipping back only the selBytes of records that satisfy the selection.
+//
+// Lines whose only copy is at a P-node are first written back — the paper
+// notes computation in memory "is better done on data that is guaranteed not
+// to leave memory; otherwise, we need to write back the data from the caches
+// in advance". The write-back is a downgrade, not an invalidation: the
+// former owner keeps a shared-master copy, and the home's copy stays on the
+// SharedList (droppable), so scanning a table larger than the D-memory never
+// forces pageouts — the scan streams through reusable slots.
+//
+// The scan spans page boundaries; each page is processed at its own home
+// D-node, and Scan returns when the last selected record arrives at p.
+func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uint64) sim.Time {
+	if lines <= 0 {
+		return now
+	}
+	ctrl := m.net.ControlBytes()
+	done := now
+	cur := m.alignLine(addr)
+	remaining := lines
+	for remaining > 0 {
+		page := m.pageOf(cur)
+		inPage := int((page + m.cfg.PageBytes - cur) / m.cfg.LineBytes)
+		if inPage > remaining {
+			inPage = remaining
+		}
+		d, _, t := m.homeFor(now, cur)
+		dm := m.dmem[d]
+		arrive := m.net.Send(t, m.pMesh[p], m.dMesh[d], ctrl)
+		hs := m.dproc[d].Acquire(arrive, sim.Time(inPage)*m.cfg.ScanPerLine)
+		tl := hs
+		var lastRecall sim.Time
+		for i := 0; i < inPage; i++ {
+			e := dm.Entry(cur + uint64(i)*m.cfg.LineBytes)
+			needRecall := !e.HasCopy() && !e.Unfetched &&
+				(e.State == DirDirty || (e.State == DirShared && e.Master != HomeMaster))
+			if needRecall {
+				owner := int(e.Master)
+				rq := m.net.Send(tl, m.dMesh[d], m.pMesh[owner], ctrl)
+				os := m.pbank[owner].Acquire(rq, m.cfg.Timing.MemBankOcc)
+				back := m.net.Send(os+m.ownerLat(owner, e.Addr), m.pMesh[owner], m.dMesh[d], m.net.DataBytes(m.cfg.LineBytes))
+				if back > lastRecall {
+					lastRecall = back
+				}
+				m.st.Recalls++
+				// Downgrade the owner; it keeps a shared-master copy and
+				// stays the master, so the home's new copy is droppable.
+				if e.State == DirDirty {
+					m.pmem[owner].SetState(e.Addr, cache.SharedMaster)
+					m.caches[owner].DowngradeMemLine(e.Addr)
+					e.State = DirShared
+					e.Sharers.Add(owner)
+				}
+				// Keep the data at the home only if a slot is available
+				// without paging out; otherwise the scan consumed the line
+				// in flight and the master remains the only holder.
+				if res, _ := dm.EnsureSlot(e); res != AllocFailed {
+					dm.LinkShared(e)
+				}
+			}
+			if e.OnDisk {
+				ds := m.disk[d].Acquire(tl, m.cfg.Timing.DiskLat)
+				tl = ds + m.cfg.Timing.DiskLat
+				m.st.DiskFaults++
+				// Keep the faulted data if room exists; otherwise it is
+				// consumed in flight and the line stays on disk.
+				if res, _ := dm.EnsureSlot(e); res != AllocFailed {
+					if e.State == DirShared && e.Master != HomeMaster {
+						dm.LinkShared(e)
+					}
+				}
+			}
+			m.dbank[d].Acquire(tl, m.cfg.Timing.MemBankOcc)
+			tl += m.cfg.ScanPerLine
+			m.st.ScanLines++
+		}
+		if lastRecall > tl {
+			tl = lastRecall
+		}
+		m.dproc[d].Block(hs, tl)
+		// Ship this page's share of the selected records.
+		sel := selBytes * uint64(inPage) / uint64(lines)
+		pd := m.net.Send(tl, m.dMesh[d], m.pMesh[p], m.net.DataBytes(sel))
+		if pd > done {
+			done = pd
+		}
+		cur += uint64(inPage) * m.cfg.LineBytes
+		remaining -= inPage
+	}
+	m.st.Scans++
+	return done
+}

@@ -1,0 +1,90 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pimdsm/internal/sim"
+)
+
+// SyncDomain coordinates barriers and queue locks among the threads of one
+// application run. Blocked threads are parked in the scheduler and woken by
+// the releasing thread; time spent parked is accounted as synchronization
+// spin (processor time in the paper's breakdown).
+type SyncDomain struct {
+	sched *sim.Scheduler
+	locks map[uint64]*lockState
+
+	barWaiting []int
+	barLast    sim.Time
+
+	// BarrierExit is the fixed cost each thread pays to leave a barrier
+	// (the release broadcast of a tree barrier).
+	BarrierExit sim.Time
+
+	Barriers uint64 // completed barrier episodes
+	LockOps  uint64 // acquire operations
+}
+
+type lockState struct {
+	holder int
+	queue  []int
+}
+
+// NewSyncDomain builds a domain whose wakeups go through sched.
+func NewSyncDomain(sched *sim.Scheduler) *SyncDomain {
+	return &SyncDomain{
+		sched:       sched,
+		locks:       make(map[uint64]*lockState),
+		BarrierExit: 100,
+	}
+}
+
+// barrierArrive records a thread at the barrier. It returns false if the
+// thread must park; the last arriver releases everyone and continues.
+func (s *SyncDomain) barrierArrive(id, participants int, at sim.Time) bool {
+	if participants <= 0 {
+		panic("cpu: barrier with no participants")
+	}
+	if at > s.barLast {
+		s.barLast = at
+	}
+	if len(s.barWaiting)+1 < participants {
+		s.barWaiting = append(s.barWaiting, id)
+		return false
+	}
+	release := s.barLast + s.BarrierExit
+	for _, w := range s.barWaiting {
+		s.sched.Unpark(w, release)
+	}
+	s.barWaiting = s.barWaiting[:0]
+	s.barLast = 0
+	s.Barriers++
+	return true
+}
+
+// lock returns the lock state for addr, creating it free.
+func (s *SyncDomain) lock(addr uint64) *lockState {
+	lk, ok := s.locks[addr]
+	if !ok {
+		lk = &lockState{holder: -1}
+		s.locks[addr] = lk
+	}
+	s.LockOps++
+	return lk
+}
+
+// release frees the lock at addr, handing it directly to the next waiter.
+func (s *SyncDomain) release(addr uint64, id int, at sim.Time) {
+	lk, ok := s.locks[addr]
+	if !ok || lk.holder != id {
+		panic(fmt.Sprintf("cpu: thread %d releasing lock %#x it does not hold", id, addr))
+	}
+	if len(lk.queue) > 0 {
+		next := lk.queue[0]
+		lk.queue = lk.queue[1:]
+		lk.holder = next
+		s.sched.Unpark(next, at)
+		return
+	}
+	lk.holder = -1
+}

@@ -1,0 +1,323 @@
+// Package machine assembles whole simulated multiprocessors — an AGG, CC-NUMA
+// or Flat COMA coherence engine, 32 (or fewer) processors, and an
+// application — sizes their memories from the experiment's memory pressure,
+// runs them to completion, and reports the measurements the paper's figures
+// are built from.
+package machine
+
+import (
+	"fmt"
+
+	"pimdsm/internal/coma"
+	"pimdsm/internal/core"
+	"pimdsm/internal/cpu"
+	"pimdsm/internal/mesh"
+	"pimdsm/internal/numa"
+	"pimdsm/internal/sim"
+	"pimdsm/internal/stats"
+	"pimdsm/internal/workload"
+)
+
+// Arch selects the architecture under test.
+type Arch string
+
+// The three organizations of the paper's evaluation (§3).
+const (
+	AGG  Arch = "agg"
+	NUMA Arch = "numa"
+	COMA Arch = "coma"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Arch Arch
+	App  workload.Spec
+	// Threads is the number of application threads (the paper uses 32).
+	Threads int
+	// Pressure is footprint / total machine DRAM (the paper evaluates 25%
+	// and 75%). Ignored by NUMA timing but still used to size its memory.
+	Pressure float64
+	// DRatio sets the AGG D-node count to Threads/DRatio (1 = 1/1AGG,
+	// 2 = 1/2AGG, 4 = 1/4AGG). Total D-memory stays constant as D-nodes
+	// get fewer and fatter (§4.1).
+	DRatio int
+	// DNodes overrides DRatio with an explicit D-node count (Figure 9/10).
+	DNodes int
+
+	// PMemBytesOverride fixes the per-P-node memory instead of deriving it
+	// from Pressure (Figure 9 keeps per-node memory constant as nodes are
+	// added).
+	PMemBytesOverride uint64
+	// DMemTotalOverride fixes the total D-node memory in bytes.
+	DMemTotalOverride uint64
+
+	// Ablation knobs (0 = the paper's defaults). OnChipFraction sets the
+	// on-chip share of AGG P-node memory (§3 tunes it per application and
+	// argues the impact is modest); SharedMinFrac sets the SharedList
+	// reuse threshold (§2.2.2); HandlerScale scales the AGG software
+	// handler costs (1.0 = Table 2; 0.7 = the paper's hardware estimate).
+	OnChipFraction float64
+	SharedMinFrac  float64
+	HandlerScale   float64
+	// DMemSetAssoc switches the AGG D-memories to the §2.2.2 rejected
+	// set-associative organization (0 = the paper's fully-associative one).
+	DMemSetAssoc int
+}
+
+// Result is everything a run measures. All engine-level counters are
+// measured from the PhaseMeasured marker (warm-up initialization excluded).
+type Result struct {
+	Arch    Arch
+	App     string
+	Threads int
+	PNodes  int
+	DNodes  int
+
+	Breakdown stats.Breakdown
+	PerThread []stats.Thread
+	Machine   stats.Machine
+	Mesh      mesh.Stats
+	Census    core.Census // AGG only: end-of-run line-state census
+	// CensusPhase2 is the census when the last thread crossed PhaseSecond
+	// (used by the reconfiguration overhead model).
+	CensusPhase2 core.Census
+
+	// PhaseEnd[p] is the time the last thread crossed phase marker p,
+	// relative to the measurement start.
+	PhaseEnd map[int]sim.Time
+
+	// DProcBusy/DProcWaited aggregate D-node protocol-processor busy time
+	// and queueing delay (AGG only) — the utilization hint §2.3 uses to
+	// tune the static P:D split.
+	DProcBusy   sim.Time
+	DProcWaited sim.Time
+
+	// DMem aggregates the D-node memory-management counters (AGG only),
+	// including SetConflicts for the set-associative ablation.
+	DMem core.DMemStats
+
+	// Sizing actually used.
+	TotalDRAM   uint64
+	PMemBytes   uint64
+	DMemLines   int
+	EffPressure float64
+}
+
+type engine interface {
+	cpu.Memory
+	Stats() *stats.Machine
+	Mesh() *mesh.Mesh
+	LineBytes() uint64
+}
+
+// roundLines rounds a byte capacity down to a whole number of assoc-way
+// 128-byte-line sets, with a floor of one set.
+func roundLines(bytes uint64, assoc int) uint64 {
+	lines := bytes / workload.LineBytes
+	q := uint64(assoc)
+	if lines < q {
+		lines = q
+	}
+	return lines / q * q * workload.LineBytes
+}
+
+// roundPow2 returns the largest power of two ≤ v (v ≥ 1).
+func roundPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// Sizing derives the per-node memory capacities for a config.
+type Sizing struct {
+	TotalDRAM uint64
+	PMemBytes uint64 // per P-node (AGG) / AM per node (COMA) / mem per node (NUMA)
+	DMemLines int    // per D-node Data slots (AGG)
+	PNodes    int
+	DNodes    int
+}
+
+// Size computes the memory layout for cfg and app.
+func Size(cfg Config, fp uint64) (Sizing, error) {
+	if cfg.Threads <= 0 {
+		return Sizing{}, fmt.Errorf("machine: need threads > 0")
+	}
+	if cfg.Pressure <= 0 || cfg.Pressure > 1 {
+		return Sizing{}, fmt.Errorf("machine: pressure %v outside (0,1]", cfg.Pressure)
+	}
+	total := uint64(float64(fp) / cfg.Pressure)
+	s := Sizing{TotalDRAM: total, PNodes: cfg.Threads}
+	switch cfg.Arch {
+	case NUMA, COMA:
+		s.PMemBytes = roundLines(total/uint64(cfg.Threads), 4)
+	case AGG:
+		d := cfg.DNodes
+		if d == 0 {
+			r := cfg.DRatio
+			if r == 0 {
+				r = 1
+			}
+			d = cfg.Threads / r
+		}
+		if d <= 0 {
+			return Sizing{}, fmt.Errorf("machine: AGG needs at least one D-node")
+		}
+		s.DNodes = d
+		pPer := total / 2 / uint64(cfg.Threads)
+		if cfg.PMemBytesOverride != 0 {
+			pPer = cfg.PMemBytesOverride
+		}
+		s.PMemBytes = roundLines(pPer, 4)
+		dTotal := total / 2
+		if cfg.DMemTotalOverride != 0 {
+			dTotal = cfg.DMemTotalOverride
+		}
+		s.DMemLines = int(dTotal / uint64(d) / workload.LineBytes)
+		minLines := int(workload.PageBytes / workload.LineBytes * 2)
+		if s.DMemLines < minLines {
+			s.DMemLines = minLines
+		}
+	default:
+		return Sizing{}, fmt.Errorf("machine: unknown architecture %q", cfg.Arch)
+	}
+	return s, nil
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	app, err := workload.New(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	fp := app.Footprint()
+	sz, err := Size(cfg, fp)
+	if err != nil {
+		return nil, err
+	}
+	l1, l2 := app.Caches()
+
+	var eng engine
+	var scanner cpu.Scanner
+	var aggM *core.Machine
+	switch cfg.Arch {
+	case AGG:
+		c := core.DefaultConfig(cfg.Threads, sz.DNodes, sz.PMemBytes, sz.DMemLines, l1, l2)
+		if cfg.OnChipFraction != 0 {
+			c.OnChipFraction = cfg.OnChipFraction
+		}
+		if cfg.SharedMinFrac != 0 {
+			c.SharedMinFrac = cfg.SharedMinFrac
+		}
+		if cfg.HandlerScale != 0 {
+			c.Costs = c.Costs.Scale(cfg.HandlerScale)
+		}
+		c.DMemSetAssoc = cfg.DMemSetAssoc
+		m, err := core.New(c)
+		if err != nil {
+			return nil, err
+		}
+		eng, scanner, aggM = m, m, m
+	case NUMA:
+		c := numa.DefaultConfig(cfg.Threads, sz.PMemBytes, l1, l2)
+		c.OnChipBytes = roundPow2(sz.PMemBytes/2/workload.LineBytes/4) * 4 * workload.LineBytes
+		m, err := numa.New(c)
+		if err != nil {
+			return nil, err
+		}
+		eng = m
+	case COMA:
+		c := coma.DefaultConfig(cfg.Threads, sz.PMemBytes, l1, l2)
+		m, err := coma.New(c)
+		if err != nil {
+			return nil, err
+		}
+		eng = m
+	}
+
+	streams := app.Streams(cfg.Threads)
+	sched := sim.NewScheduler()
+	sd := cpu.NewSyncDomain(sched)
+	threads := make([]*cpu.Thread, cfg.Threads)
+
+	res := &Result{
+		Arch:        cfg.Arch,
+		App:         app.Name(),
+		Threads:     cfg.Threads,
+		PNodes:      sz.PNodes,
+		DNodes:      sz.DNodes,
+		PhaseEnd:    make(map[int]sim.Time),
+		TotalDRAM:   sz.TotalDRAM,
+		PMemBytes:   sz.PMemBytes,
+		DMemLines:   sz.DMemLines,
+		EffPressure: float64(fp) / float64(sz.TotalDRAM),
+	}
+
+	var measureStart sim.Time
+	var snap stats.Machine
+	var meshSnap mesh.Stats
+	var dBusySnap, dWaitSnap sim.Time
+	crossed := make(map[int]int)
+	hook := func(tid, phase int, at sim.Time) {
+		crossed[phase]++
+		if at > res.PhaseEnd[phase] {
+			res.PhaseEnd[phase] = at
+		}
+		if phase == workload.PhaseMeasured {
+			// Exclude warm-up initialization from this thread's numbers;
+			// the engine counters are snapshot once everyone has crossed.
+			threads[tid].ResetMeasurement()
+			if crossed[phase] == cfg.Threads {
+				measureStart = res.PhaseEnd[phase]
+				snap = *eng.Stats()
+				meshSnap = eng.Mesh().Stats()
+				if aggM != nil {
+					dBusySnap, dWaitSnap, _ = aggM.DProcUtil()
+				}
+			}
+		}
+		if phase == workload.PhaseSecond && crossed[phase] == cfg.Threads && aggM != nil {
+			res.CensusPhase2 = aggM.CensusTotal()
+		}
+	}
+
+	tm := &translatedMem{eng: eng, scan: scanner, pt: newPageTable()}
+	var tscan cpu.Scanner
+	if scanner != nil {
+		tscan = tm
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		threads[i] = cpu.NewThread(i, tm, tscan, streams[i], sd, cpu.DefaultParams())
+		threads[i].SetPhaseHook(hook)
+		sched.Add(threads[i])
+	}
+	if err := sched.Run(); err != nil {
+		return nil, fmt.Errorf("machine: %s/%s: %w", cfg.Arch, app.Name(), err)
+	}
+
+	res.PerThread = make([]stats.Thread, cfg.Threads)
+	for i, th := range threads {
+		res.PerThread[i] = th.Stats()
+	}
+	res.Breakdown = stats.NewBreakdown(res.PerThread)
+	res.Machine = eng.Stats().Diff(&snap)
+	res.Mesh = eng.Mesh().Stats().Diff(meshSnap)
+	for p, t := range res.PhaseEnd {
+		if t > measureStart {
+			res.PhaseEnd[p] = t - measureStart
+		} else {
+			res.PhaseEnd[p] = 0
+		}
+	}
+	if aggM != nil {
+		res.Census = aggM.CensusTotal()
+		res.DMem = aggM.DMemStatsTotal()
+		busy, waited, _ := aggM.DProcUtil()
+		res.DProcBusy, res.DProcWaited = busy-dBusySnap, waited-dWaitSnap
+		if err := aggM.CheckInvariants(); err != nil {
+			return nil, fmt.Errorf("machine: post-run invariant violation: %w", err)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"fmt"
+
+	"pimdsm/internal/sim"
+	"pimdsm/internal/workload"
+)
+
+// ReconfigCosts is the paper's dynamic-reconfiguration overhead model
+// (§4.2): a fixed base for setup, synchronization and decision making, a
+// per-line cost to collect and migrate each memory line held by the D-nodes
+// being converted, a page-table update cost per ten pages moved, and a TLB
+// update cost per P-node processor.
+type ReconfigCosts struct {
+	Base        sim.Time // 100,000 cycles
+	PerLine     sim.Time // collecting and migrating one memory line
+	PerTenPages sim.Time // 1,000 cycles per 10 pages remapped
+	PerTLB      sim.Time // 1,000 cycles per P-node TLB update
+}
+
+// DefaultReconfigCosts returns §4.2's constants. Line migration is bulk and
+// parallel (every decommissioned D-node streams to a survivor at once), so
+// the effective wall-clock cost per line is the link serialization divided
+// by the migration parallelism.
+func DefaultReconfigCosts() ReconfigCosts {
+	return ReconfigCosts{Base: 100000, PerLine: 8, PerTenPages: 1000, PerTLB: 1000}
+}
+
+// ReconfigResult reports the Figure 10(a) experiment: two static
+// configurations and the dynamically reconfigured run (phase 1 on A,
+// reconfigure, phase 2 on B).
+type ReconfigResult struct {
+	A, B *Result // full static runs
+
+	Phase1A sim.Time // phase 1 duration on configuration A
+	Phase2A sim.Time
+	Phase1B sim.Time
+	Phase2B sim.Time
+
+	Reconf     sim.Time // modeled reconfiguration overhead
+	LinesMoved uint64
+	PagesMoved uint64
+
+	// Dynamic is Phase1A + Reconf + Phase2B.
+	Dynamic sim.Time
+}
+
+// StaticA and StaticB return the static runs' total times.
+func (r *ReconfigResult) StaticA() sim.Time { return r.A.Breakdown.Exec }
+
+// StaticB returns configuration B's total time.
+func (r *ReconfigResult) StaticB() sim.Time { return r.B.Breakdown.Exec }
+
+// RunReconfig runs the paper's dynamic-reconfiguration experiment on an AGG
+// machine: the application's first phase executes on aP P-nodes and aD
+// D-nodes, then (aD - bD) D-nodes are converted into P-nodes (pages unmapped
+// and migrated to the surviving D-nodes, caches flushed, TLBs updated), and
+// the second phase executes on bP P-nodes and bD D-nodes. The paper's
+// example is Dbase: 16&16 for the hash phase, 28&4 for the join phase.
+func RunReconfig(app workload.Spec, pressure float64, aP, aD, bP, bD int, costs ReconfigCosts) (*ReconfigResult, error) {
+	if aP+aD != bP+bD {
+		return nil, fmt.Errorf("machine: reconfiguration must preserve the node count (%d+%d vs %d+%d)", aP, aD, bP, bD)
+	}
+	// Figures 9 and 10 share the paper's sizing rule: the per-node memory
+	// and the total D-node memory are frozen at the 2P&2D configuration
+	// with the given pressure, and nodes are added (not resized).
+	perNode, dTotal, err := BaselineSizing(app, pressure)
+	if err != nil {
+		return nil, err
+	}
+	base := Config{
+		Arch: AGG, App: app, Pressure: pressure,
+		PMemBytesOverride: perNode, DMemTotalOverride: dTotal,
+	}
+
+	cfgA := base
+	cfgA.Threads, cfgA.DNodes = aP, aD
+	resA, err := Run(cfgA)
+	if err != nil {
+		return nil, fmt.Errorf("machine: static %d&%d: %w", aP, aD, err)
+	}
+	cfgB := base
+	cfgB.Threads, cfgB.DNodes = bP, bD
+	resB, err := Run(cfgB)
+	if err != nil {
+		return nil, fmt.Errorf("machine: static %d&%d: %w", bP, bD, err)
+	}
+
+	r := &ReconfigResult{A: resA, B: resB}
+	r.Phase1A = resA.PhaseEnd[workload.PhaseSecond]
+	r.Phase2A = resA.Breakdown.Exec - r.Phase1A
+	r.Phase1B = resB.PhaseEnd[workload.PhaseSecond]
+	r.Phase2B = resB.Breakdown.Exec - r.Phase1B
+
+	// Overhead: the decommissioned D-nodes' resident lines and mapped pages
+	// migrate to the survivors. Estimate their population from the phase-
+	// boundary census (lines with a home copy plus dirty place holders do
+	// not move — only home-resident data does).
+	if aD > bD {
+		frac := float64(aD-bD) / float64(aD)
+		resident := uint64(resA.CensusPhase2.DNodeOnly + resA.CensusPhase2.SharedInP)
+		r.LinesMoved = uint64(float64(resident) * frac)
+		r.PagesMoved = uint64(float64(resA.Machine.FirstTouches) * frac)
+	}
+	r.Reconf = costs.Base +
+		costs.PerLine*sim.Time(r.LinesMoved) +
+		costs.PerTenPages*sim.Time((r.PagesMoved+9)/10) +
+		costs.PerTLB*sim.Time(bP)
+	r.Dynamic = r.Phase1A + r.Reconf + r.Phase2B
+	return r, nil
+}
+
+// BaselineSizing returns the Figure 9/10 memory sizing: the per-node memory
+// of an AGG machine with 2 P- and 2 D-nodes at the given memory pressure,
+// and the (frozen) total D-node memory of that baseline. As nodes are added
+// each brings the same per-node memory, while the backing store stays fixed
+// ("keep the problem size and total D-memory size fixed as more nodes are
+// added", §4.2).
+func BaselineSizing(spec workload.Spec, pressure float64) (perNode, dTotal uint64, err error) {
+	a, err := workload.New(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	perNode = uint64(float64(a.Footprint()) / pressure / 4)
+	perNode = perNode / workload.LineBytes / 4 * 4 * workload.LineBytes
+	return perNode, 2 * perNode, nil
+}

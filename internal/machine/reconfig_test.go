@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"testing"
+
+	"pimdsm/internal/workload"
+)
+
+func TestBaselineSizing(t *testing.T) {
+	perNode, dTotal, err := BaselineSizing(workload.Spec{Name: "fft", Scale: 0.1}, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perNode == 0 || dTotal != 2*perNode {
+		t.Fatalf("perNode=%d dTotal=%d", perNode, dTotal)
+	}
+	if perNode%(4*workload.LineBytes) != 0 {
+		t.Fatalf("perNode %d not a whole number of 4-way line sets", perNode)
+	}
+	if _, _, err := BaselineSizing(workload.Spec{Name: "nope"}, 0.75); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunReconfigNodeCountPreserved(t *testing.T) {
+	_, err := RunReconfig(workload.Spec{Name: "dbase", Scale: 0.05}, 0.75, 4, 4, 7, 2, DefaultReconfigCosts())
+	if err == nil {
+		t.Fatal("mismatched node counts accepted")
+	}
+}
+
+func TestRunReconfigDbase(t *testing.T) {
+	r, err := RunReconfig(workload.Spec{Name: "dbase", Scale: 0.1}, 0.75, 4, 4, 6, 2, DefaultReconfigCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase accounting must add up for both static runs.
+	if r.Phase1A+r.Phase2A != r.A.Breakdown.Exec {
+		t.Fatalf("A phases %d+%d != exec %d", r.Phase1A, r.Phase2A, r.A.Breakdown.Exec)
+	}
+	if r.Phase1B+r.Phase2B != r.B.Breakdown.Exec {
+		t.Fatalf("B phases %d+%d != exec %d", r.Phase1B, r.Phase2B, r.B.Breakdown.Exec)
+	}
+	// The dynamic run combines A's phase 1 with B's phase 2 plus overhead.
+	if r.Dynamic != r.Phase1A+r.Reconf+r.Phase2B {
+		t.Fatal("dynamic time not assembled from its parts")
+	}
+	if r.Reconf < DefaultReconfigCosts().Base {
+		t.Fatalf("reconf overhead %d below the base cost", r.Reconf)
+	}
+	// Converting D-nodes to P-nodes moves lines and pages.
+	if r.LinesMoved == 0 || r.PagesMoved == 0 {
+		t.Fatalf("no migration accounted: lines=%d pages=%d", r.LinesMoved, r.PagesMoved)
+	}
+}
+
+func TestReconfigOverheadModel(t *testing.T) {
+	c := DefaultReconfigCosts()
+	// §4.2's constants.
+	if c.Base != 100000 || c.PerTenPages != 1000 || c.PerTLB != 1000 {
+		t.Fatalf("overhead constants drifted: %+v", c)
+	}
+}

@@ -1,0 +1,93 @@
+package machine
+
+import (
+	"fmt"
+
+	"pimdsm/internal/workload"
+)
+
+// TuneResult reports the §2.3 static-tuning procedure: "we can execute the
+// application for the first time with a wasteful number of D-nodes and
+// record the D-node processor utilization. The recorded utilization is used
+// as a hint to tune the number of P- and D-nodes requested in subsequent
+// runs."
+type TuneResult struct {
+	// Profile is the wasteful profiling run (1/1 ratio).
+	Profile *Result
+	// Utilization is the mean D-node protocol-processor utilization during
+	// the profiling run (busy cycles / (D-nodes × execution time)).
+	Utilization float64
+	// SuggestedD is the D-node count the hint recommends for the next run.
+	SuggestedD int
+}
+
+// TuneDRatio profiles an application on a wasteful 1/1 AGG machine and
+// suggests a D-node count sized so the surviving D-nodes would run at
+// roughly the target utilization (the paper's procedure; targetUtil ~0.5
+// leaves headroom for burstiness; 0 means 0.5).
+func TuneDRatio(app workload.Spec, pressure float64, threads int, targetUtil float64) (*TuneResult, error) {
+	if targetUtil == 0 {
+		targetUtil = 0.5
+	}
+	if targetUtil < 0 || targetUtil > 1 {
+		return nil, fmt.Errorf("machine: target utilization %v outside (0,1]", targetUtil)
+	}
+	res, err := Run(Config{Arch: AGG, App: app, Threads: threads, Pressure: pressure, DRatio: 1})
+	if err != nil {
+		return nil, err
+	}
+	util := float64(res.DProcBusy) / (float64(res.DNodes) * float64(res.Breakdown.Exec))
+	suggested := int(float64(res.DNodes)*util/targetUtil + 0.999)
+	if suggested < 1 {
+		suggested = 1
+	}
+	if suggested > threads {
+		suggested = threads
+	}
+	return &TuneResult{Profile: res, Utilization: util, SuggestedD: suggested}, nil
+}
+
+// SplitPoint is one P&D division of a fixed machine (Figure 4's -45° line).
+type SplitPoint struct {
+	P, D   int
+	Result *Result
+}
+
+// OptimalSplit evaluates every way of dividing total nodes between P and D
+// (P from minP up, D at least 1) for one application at the Figure 9 sizing,
+// returning the evaluated points and the index of the fastest — the paper's
+// Figure 4 design-space exploration for one machine size.
+func OptimalSplit(app workload.Spec, pressure float64, total, minP int, candidates []int) ([]SplitPoint, int, error) {
+	perNode, dTotal, err := BaselineSizing(app, pressure)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(candidates) == 0 {
+		for p := minP; p < total; p *= 2 {
+			candidates = append(candidates, p)
+		}
+	}
+	var pts []SplitPoint
+	best := -1
+	for _, p := range candidates {
+		d := total - p
+		if p < 1 || d < 1 {
+			continue
+		}
+		res, err := Run(Config{
+			Arch: AGG, App: app, Threads: p, Pressure: pressure, DNodes: d,
+			PMemBytesOverride: perNode, DMemTotalOverride: dTotal,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		pts = append(pts, SplitPoint{P: p, D: d, Result: res})
+		if best < 0 || res.Breakdown.Exec < pts[best].Result.Breakdown.Exec {
+			best = len(pts) - 1
+		}
+	}
+	if best < 0 {
+		return nil, 0, fmt.Errorf("machine: no feasible split of %d nodes", total)
+	}
+	return pts, best, nil
+}

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"testing"
+
+	"pimdsm/internal/workload"
+)
+
+func TestTuneDRatio(t *testing.T) {
+	r, err := TuneDRatio(workload.Spec{Name: "swim", Scale: 0.1}, 0.75, 8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Fatalf("utilization = %v", r.Utilization)
+	}
+	if r.SuggestedD < 1 || r.SuggestedD > 8 {
+		t.Fatalf("suggested D = %d", r.SuggestedD)
+	}
+	// The suggestion must actually run.
+	res, err := Run(Config{
+		Arch: AGG, App: workload.Spec{Name: "swim", Scale: 0.1},
+		Threads: 8, Pressure: 0.75, DNodes: r.SuggestedD,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Exec == 0 {
+		t.Fatal("suggested configuration did not run")
+	}
+}
+
+func TestTuneDRatioValidation(t *testing.T) {
+	if _, err := TuneDRatio(workload.Spec{Name: "swim", Scale: 0.05}, 0.75, 4, 1.5); err == nil {
+		t.Fatal("utilization > 1 accepted")
+	}
+}
+
+func TestOptimalSplit(t *testing.T) {
+	pts, best, err := OptimalSplit(workload.Spec{Name: "ocean", Scale: 0.1}, 0.75, 8, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("only %d split points", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.P+pt.D != 8 {
+			t.Fatalf("split %d+%d does not preserve machine size", pt.P, pt.D)
+		}
+	}
+	for i, pt := range pts {
+		if pt.Result.Breakdown.Exec < pts[best].Result.Breakdown.Exec {
+			t.Fatalf("point %d beats the reported best", i)
+		}
+	}
+}

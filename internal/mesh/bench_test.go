@@ -1,0 +1,21 @@
+package mesh
+
+import (
+	"testing"
+
+	"pimdsm/internal/sim"
+)
+
+func BenchmarkSendControl(b *testing.B) {
+	m := MustNew(DefaultConfig(8, 8))
+	for i := 0; i < b.N; i++ {
+		m.Send(sim.Time(i), i%64, (i*7)%64, 16)
+	}
+}
+
+func BenchmarkSendData(b *testing.B) {
+	m := MustNew(DefaultConfig(8, 8))
+	for i := 0; i < b.N; i++ {
+		m.Send(sim.Time(i*4), i%64, (i*13)%64, 144)
+	}
+}

@@ -1,0 +1,442 @@
+// Package numa implements the CC-NUMA baseline of the paper's evaluation
+// (§3): each node has the same PIM processor chip as AGG but with the
+// directory controller on chip, plain (untagged) local memory holding the
+// pages placed there by first touch, and only the SRAM caches (L1/L2) for
+// remote data. At the home node the directory access is overlapped with the
+// memory access, so a locally-satisfied transaction pays no directory
+// latency. The hardware protocol engine runs at 70% of AGG's software
+// handler costs.
+package numa
+
+import (
+	"fmt"
+
+	"pimdsm/internal/cache"
+	"pimdsm/internal/core"
+	"pimdsm/internal/mesh"
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+	"pimdsm/internal/stats"
+)
+
+// DirState is the home directory state of a memory line.
+type dirState uint8
+
+const (
+	dirHome dirState = iota // no cached copies recorded
+	dirShared
+	dirDirty
+)
+
+type dirEntry struct {
+	state   dirState
+	owner   int32 // when dirDirty
+	sharers proto.PtrVec
+}
+
+// Config describes a CC-NUMA machine.
+type Config struct {
+	Nodes int
+
+	LineBytes uint64
+	PageBytes uint64
+
+	// MemBytes is each node's local DRAM; OnChipBytes of it is on chip and
+	// is managed as a hardware cache of the node's own pages (the [18]
+	// scheme), determining the 37- vs 57-cycle local latency.
+	MemBytes    uint64
+	OnChipBytes uint64
+
+	Caches proto.CacheGeom
+	Timing proto.Timing
+	Costs  proto.HandlerCosts
+	Mesh   mesh.Config
+}
+
+// DefaultConfig returns the Table 1 NUMA configuration: double-width links
+// (same bisection bandwidth as a 1/1 AGG with twice the nodes) and hardware
+// protocol costs.
+func DefaultConfig(nodes int, memBytes uint64, l1, l2 uint64) Config {
+	mc := mesh.DefaultConfig(0, 0)
+	mc.BytesPerCycle *= 2
+	return Config{
+		Nodes:       nodes,
+		LineBytes:   128,
+		PageBytes:   4096,
+		MemBytes:    memBytes,
+		OnChipBytes: memBytes / 2,
+		Caches:      proto.DefaultCacheGeom(l1, l2),
+		Timing:      proto.DefaultTiming(128),
+		Costs:       proto.AGGCosts().Scale(proto.HardwareScale),
+		Mesh:        mc,
+	}
+}
+
+// Machine is the CC-NUMA engine.
+type Machine struct {
+	cfg Config
+	net *mesh.Mesh
+
+	caches []*proto.CacheSet
+	onchip []*cache.SetAssoc // presence tracker: which local lines are on chip
+	hproc  []sim.Resource    // on-chip directory/protocol engine
+	bank   []sim.Resource
+
+	dir   map[uint64]*dirEntry
+	homes map[uint64]int // page -> home node (first touch)
+
+	allNodes []int
+	st       stats.Machine
+}
+
+// New builds a NUMA machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("numa: need at least one node")
+	}
+	mc := cfg.Mesh
+	if mc.Width == 0 || mc.Height == 0 {
+		mc.Width = 8
+		if cfg.Nodes < 8 {
+			mc.Width = cfg.Nodes
+		}
+		mc.Height = (cfg.Nodes + mc.Width - 1) / mc.Width
+	}
+	net, err := mesh.New(mc)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		net:   net,
+		dir:   make(map[uint64]*dirEntry),
+		homes: make(map[uint64]int),
+	}
+	m.caches = make([]*proto.CacheSet, cfg.Nodes)
+	m.onchip = make([]*cache.SetAssoc, cfg.Nodes)
+	m.hproc = make([]sim.Resource, cfg.Nodes)
+	m.bank = make([]sim.Resource, cfg.Nodes)
+	for i := range m.caches {
+		cs, err := proto.NewCacheSet(cfg.Caches, cfg.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.caches[i] = cs
+		oc, err := cache.New(cfg.OnChipBytes, cfg.LineBytes, 4)
+		if err != nil {
+			return nil, err
+		}
+		m.onchip[i] = oc
+	}
+	m.allNodes = make([]int, cfg.Nodes)
+	for i := range m.allNodes {
+		m.allNodes[i] = i
+	}
+	return m, nil
+}
+
+// LineBytes returns the coherence unit size.
+func (m *Machine) LineBytes() uint64 { return m.cfg.LineBytes }
+
+// Stats returns the machine's counters.
+func (m *Machine) Stats() *stats.Machine { return &m.st }
+
+// Mesh returns the interconnect.
+func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+func (m *Machine) alignLine(addr uint64) uint64 { return addr &^ (m.cfg.LineBytes - 1) }
+func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageBytes - 1) }
+
+func (m *Machine) homeFor(p int, addr uint64) int {
+	page := m.pageOf(addr)
+	h, ok := m.homes[page]
+	if !ok {
+		h = p
+		m.homes[page] = h
+		m.st.FirstTouches++
+	}
+	return h
+}
+
+func (m *Machine) entry(addr uint64) *dirEntry {
+	line := m.alignLine(addr)
+	e, ok := m.dir[line]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		m.dir[line] = e
+	}
+	return e
+}
+
+// memLat is node n's local-memory latency for a line, tracking the on-chip
+// portion as a cache of the node's own pages.
+func (m *Machine) memLat(n int, line uint64) sim.Time {
+	if _, hit := m.onchip[n].Access(line); hit {
+		return m.cfg.Timing.MemOnChip
+	}
+	m.onchip[n].Insert(line, cache.Shared, nil)
+	return m.cfg.Timing.MemOffChip
+}
+
+// Access services a load or store by node p at time now.
+func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	done, class := m.access(now, p, addr, write)
+	if write {
+		m.st.Write(class, done-now)
+	} else {
+		m.st.Read(class, done-now)
+	}
+	return done, class
+}
+
+func (m *Machine) access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	if hit, class, _ := m.caches[p].Lookup(addr, write); hit {
+		lat := m.cfg.Timing.L1Lat
+		if class == proto.LatL2 {
+			lat = m.cfg.Timing.L2Lat
+		}
+		return now + lat, class
+	}
+	line := m.alignLine(addr)
+	home := m.homeFor(p, addr)
+	e := m.entry(line)
+	upgrade := m.caches[p].Holds(addr) // readable copy present; ownership only
+
+	if home == p {
+		return m.localAccess(now, p, addr, line, e, write, upgrade)
+	}
+	if write {
+		return m.remoteWrite(now, p, home, addr, line, e, upgrade)
+	}
+	return m.remoteRead(now, p, home, addr, line, e)
+}
+
+// localAccess handles accesses whose home is the requesting node: the
+// directory lookup is overlapped with the memory access and adds no latency
+// unless remote copies must be acted on.
+func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntry, write, upgrade bool) (sim.Time, proto.LatClass) {
+	ctrl := m.net.ControlBytes()
+	data := m.net.DataBytes(m.cfg.LineBytes)
+
+	if !write {
+		if e.state == dirDirty && int(e.owner) != p {
+			// Fetch from the remote owner: two node hops (p -> owner -> p).
+			q := int(e.owner)
+			rq := m.net.Send(now, p, q, ctrl)
+			qs := m.bank[q].Acquire(rq, m.cfg.Timing.MemBankOcc)
+			done := m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
+			m.caches[q].DowngradeMemLine(line)
+			m.bank[p].Acquire(done, m.cfg.Timing.MemBankOcc) // home memory update
+			e.state = dirShared
+			e.owner = -1
+			e.sharers.Add(q)
+			e.sharers.Add(p)
+			m.fill(done, p, addr, false)
+			return done, proto.Lat2Hop
+		}
+		bs := m.bank[p].Acquire(now, m.cfg.Timing.MemBankOcc)
+		done := bs + m.memLat(p, line)
+		if e.state != dirDirty {
+			e.sharers.Add(p)
+			if e.state == dirHome {
+				e.state = dirShared
+			}
+		}
+		m.fill(done, p, addr, e.state == dirDirty && int(e.owner) == p)
+		return done, proto.LatMem
+	}
+
+	// Local write.
+	switch {
+	case e.state == dirDirty && int(e.owner) != p:
+		// Transfer ownership from the remote owner (2 hops).
+		q := int(e.owner)
+		rq := m.net.Send(now, p, q, ctrl)
+		qs := m.bank[q].Acquire(rq, m.cfg.Timing.MemBankOcc)
+		done := m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
+		m.caches[q].InvalidateMemLine(line)
+		m.st.Invalidations++
+		e.owner = int32(p)
+		e.sharers.Clear()
+		m.fill(done, p, addr, true)
+		return done, proto.Lat2Hop
+	default:
+		bs := m.bank[p].Acquire(now, m.cfg.Timing.MemBankOcc)
+		done := bs + m.memLat(p, line)
+		// Invalidate remote sharers; their acks bound completion.
+		for _, q := range e.sharers.Targets(nil, m.allNodes, p) {
+			iv := m.net.Send(now, p, q, ctrl)
+			m.caches[q].InvalidateMemLine(line)
+			m.st.Invalidations++
+			if ack := m.net.Send(iv, q, p, ctrl); ack > done {
+				done = ack
+			}
+		}
+		e.state = dirDirty
+		e.owner = int32(p)
+		e.sharers.Clear()
+		m.fill(done, p, addr, true)
+		return done, proto.LatMem
+	}
+}
+
+// remoteRead handles a read whose home is another node.
+func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEntry) (sim.Time, proto.LatClass) {
+	ctrl := m.net.ControlBytes()
+	data := m.net.DataBytes(m.cfg.LineBytes)
+	arrive := m.net.Send(now, p, h, ctrl)
+	hs := m.hproc[h].Acquire(arrive, m.cfg.Costs.ReadOcc)
+
+	var done sim.Time
+	var class proto.LatClass
+	switch {
+	case e.state == dirDirty && int(e.owner) == h:
+		// The home's own caches hold the line dirty; it supplies and its
+		// memory is updated in place.
+		m.caches[h].DowngradeMemLine(line)
+		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(hs+m.cfg.Costs.ReadLat, h, p, data)
+		e.state = dirShared
+		e.sharers.Add(h)
+		class = proto.Lat2Hop
+	case e.state == dirDirty && int(e.owner) != p:
+		// 3-hop: forward to owner; owner supplies requester and writes the
+		// line back to the home (sharing write-back).
+		q := int(e.owner)
+		fwd := m.net.Send(hs+m.cfg.Costs.ReadLat, h, q, ctrl)
+		qs := m.bank[q].Acquire(fwd, m.cfg.Timing.MemBankOcc)
+		sendT := qs + m.cfg.Timing.L2Lat
+		done = m.net.Send(sendT, q, p, data)
+		wb := m.net.Send(sendT, q, h, data)
+		ws := m.hproc[h].Acquire(wb, m.cfg.Costs.AckOcc)
+		m.bank[h].Acquire(ws, m.cfg.Timing.MemBankOcc)
+		m.caches[q].DowngradeMemLine(line)
+		e.state = dirShared
+		e.sharers.Add(q)
+		class = proto.Lat3Hop
+	default: // clean at home
+		// Clean at home (covers the degenerate dirty-at-requester case
+		// after a partial L2 eviction: the home's frame is authoritative
+		// again). Directory access is overlapped with the memory access.
+		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		lat := m.memLat(h, line)
+		done = m.net.Send(hs+maxTime(m.cfg.Costs.ReadLat, lat), h, p, data)
+		if e.state == dirDirty {
+			e.state = dirShared
+		}
+		if e.state == dirHome {
+			e.state = dirShared
+		}
+		class = proto.Lat2Hop
+	}
+	e.sharers.Add(p)
+	e.owner = -1
+	m.fill(done, p, addr, false)
+	return done, class
+}
+
+// remoteWrite handles a write whose home is another node.
+func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirEntry, upgrade bool) (sim.Time, proto.LatClass) {
+	ctrl := m.net.ControlBytes()
+	data := m.net.DataBytes(m.cfg.LineBytes)
+	arrive := m.net.Send(now, p, h, ctrl)
+
+	targets := e.sharers.Targets(nil, m.allNodes, p)
+	occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
+	hs := m.hproc[h].Acquire(arrive, occ)
+	replyT := hs + m.cfg.Costs.ReadExLat
+
+	var done sim.Time
+	var class proto.LatClass
+	switch {
+	case e.state == dirDirty && int(e.owner) != p && int(e.owner) != h:
+		// 3-hop ownership transfer.
+		q := int(e.owner)
+		fwd := m.net.Send(replyT, h, q, ctrl)
+		qs := m.bank[q].Acquire(fwd, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
+		m.caches[q].InvalidateMemLine(line)
+		m.st.Invalidations++
+		class = proto.Lat3Hop
+	case e.state == dirDirty && int(e.owner) == h:
+		m.caches[h].InvalidateMemLine(line)
+		m.st.Invalidations++
+		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(replyT, h, p, data)
+		class = proto.Lat2Hop
+	case upgrade:
+		done = m.net.Send(replyT, h, p, ctrl)
+		m.st.Upgrades++
+		class = proto.Lat2Hop
+	default:
+		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		done = m.net.Send(replyT, h, p, data)
+		class = proto.Lat2Hop
+	}
+	for _, q := range targets {
+		iv := m.net.Send(replyT, h, q, ctrl)
+		m.caches[q].InvalidateMemLine(line)
+		m.st.Invalidations++
+		if ack := m.net.Send(iv, q, p, ctrl); ack > done {
+			done = ack
+		}
+	}
+	e.state = dirDirty
+	e.owner = int32(p)
+	e.sharers.Clear()
+	m.fill(done, p, addr, true)
+	return done, class
+}
+
+// fill installs a fetched line into p's caches at time when, writing any
+// displaced dirty lines back to their homes.
+func (m *Machine) fill(when sim.Time, p int, addr uint64, writable bool) {
+	m.handleVictims(when, p, m.caches[p].Fill(addr, writable))
+}
+
+// handleVictims writes displaced dirty L2 lines back to their homes. A dirty
+// 64 B subline is only written back once its sibling subline has also left
+// the cache (the memory line is the coherence unit).
+func (m *Machine) handleVictims(when sim.Time, p int, victims []cache.Victim) {
+	for _, v := range victims {
+		if v.State != cache.Dirty {
+			continue
+		}
+		sib := v.Addr ^ m.caches[p].L2.LineBytes()
+		if st, ok := m.caches[p].L2.Lookup(sib); ok && st == cache.Dirty {
+			continue // other half still dirty here; defer
+		}
+		line := m.alignLine(v.Addr)
+		e := m.entry(line)
+		h := m.homeFor(p, v.Addr)
+		if e.state == dirDirty && int(e.owner) == p {
+			e.state = dirHome
+			e.owner = -1
+			e.sharers.Clear()
+		}
+		m.st.WriteBacks++
+		if h == p {
+			m.bank[p].Acquire(when, m.cfg.Timing.MemBankOcc)
+			continue
+		}
+		// Background write-back message; it contends for links and the
+		// home's protocol engine but nobody waits on it.
+		wb := m.net.Send(when, p, h, m.net.DataBytes(m.cfg.LineBytes))
+		ws := m.hproc[h].Acquire(wb, m.cfg.Costs.WBOcc)
+		m.bank[h].Acquire(ws, m.cfg.Timing.MemBankOcc)
+	}
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Placement is trivial for NUMA (node i at mesh index i) but exported for
+// symmetry with the AGG engine.
+func Placement(n int) []int {
+	p, _ := core.Placement(n, n, 0)
+	return p
+}

@@ -1,0 +1,151 @@
+package proto
+
+import (
+	"pimdsm/internal/cache"
+)
+
+// CacheSet is the private on-chip SRAM cache pair of one processor: a
+// direct-mapped L1 and a 4-way L2, both with 64-byte lines (Table 1). The
+// coherence unit of the machine is the 128-byte memory line, so invalidation
+// and downgrade operate on memory lines (both 64-byte sublines at once), and
+// a fill brings the whole memory line into the L2 (spatial locality of the
+// larger transfer grain) and the requested subline into the L1.
+type CacheSet struct {
+	L1, L2       *cache.SetAssoc
+	memLineBytes uint64
+}
+
+// CacheGeom describes L1/L2 capacities for one application (Table 3).
+type CacheGeom struct {
+	L1Bytes, L2Bytes uint64
+	LineBytes        uint64 // SRAM line size (64 B in the paper)
+	L2Assoc          int
+}
+
+// DefaultCacheGeom returns the common cache geometry with per-application
+// L1/L2 capacities.
+func DefaultCacheGeom(l1Bytes, l2Bytes uint64) CacheGeom {
+	return CacheGeom{L1Bytes: l1Bytes, L2Bytes: l2Bytes, LineBytes: 64, L2Assoc: 4}
+}
+
+// NewCacheSet builds a cache pair. memLineBytes is the machine's memory line
+// size (the coherence unit) and must be a multiple of the SRAM line size.
+func NewCacheSet(g CacheGeom, memLineBytes uint64) (*CacheSet, error) {
+	l1, err := cache.New(g.L1Bytes, g.LineBytes, 1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(g.L2Bytes, g.LineBytes, g.L2Assoc)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheSet{L1: l1, L2: l2, memLineBytes: memLineBytes}, nil
+}
+
+// MustNewCacheSet is NewCacheSet, panicking on error.
+func MustNewCacheSet(g CacheGeom, memLineBytes uint64) *CacheSet {
+	cs, err := NewCacheSet(g, memLineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// AlignMem returns addr rounded down to its memory-line boundary.
+func (cs *CacheSet) AlignMem(addr uint64) uint64 { return addr &^ (cs.memLineBytes - 1) }
+
+// Lookup services a load or store from the SRAM caches.
+// hit reports whether the access completed here; class is LatL1 or LatL2.
+// upgrade reports that a store found the line present but not writable
+// (the engine must run an ownership transaction but needs no data transfer).
+func (cs *CacheSet) Lookup(addr uint64, write bool) (hit bool, class LatClass, upgrade bool) {
+	if st, ok := cs.L1.Access(addr); ok {
+		if !write || st == cache.Dirty {
+			return true, LatL1, false
+		}
+		return false, LatL1, true
+	}
+	if st, ok := cs.L2.Access(addr); ok {
+		if !write || st == cache.Dirty {
+			// Refill L1 from L2.
+			cs.L1.Insert(addr, st, nil)
+			return true, LatL2, false
+		}
+		return false, LatL2, true
+	}
+	return false, 0, false
+}
+
+// Fill installs the memory line containing addr after it was obtained from
+// the memory system. writable marks the copy Dirty (obtained exclusive).
+// Both sublines enter the L2; the referenced subline enters the L1. It
+// returns any valid L2 victims so the engine can act on displaced dirty
+// remote lines (the CC-NUMA baseline writes those back to their homes).
+func (cs *CacheSet) Fill(addr uint64, writable bool) []cache.Victim {
+	st := cache.Shared
+	if writable {
+		st = cache.Dirty
+	}
+	var victims []cache.Victim
+	base := cs.AlignMem(addr)
+	for sub := base; sub < base+cs.memLineBytes; sub += cs.L2.LineBytes() {
+		if v := cs.L2.Insert(sub, st, nil); v.Valid() {
+			victims = append(victims, v)
+		}
+	}
+	cs.L1.Insert(addr, st, nil)
+	return victims
+}
+
+// InvalidateMemLine removes every subline of the memory line containing addr
+// from both caches, reporting whether any removed copy was dirty.
+func (cs *CacheSet) InvalidateMemLine(addr uint64) (wasDirty bool) {
+	base := cs.AlignMem(addr)
+	for sub := base; sub < base+cs.memLineBytes; sub += cs.L2.LineBytes() {
+		if cs.L1.Invalidate(sub) == cache.Dirty {
+			wasDirty = true
+		}
+		if cs.L2.Invalidate(sub) == cache.Dirty {
+			wasDirty = true
+		}
+	}
+	return wasDirty
+}
+
+// DowngradeMemLine demotes every cached subline of the memory line to Shared
+// (a remote read of a line this processor owned), reporting whether any
+// subline was dirty.
+func (cs *CacheSet) DowngradeMemLine(addr uint64) (wasDirty bool) {
+	base := cs.AlignMem(addr)
+	for sub := base; sub < base+cs.memLineBytes; sub += cs.L2.LineBytes() {
+		if st, ok := cs.L1.Lookup(sub); ok && st == cache.Dirty {
+			cs.L1.SetState(sub, cache.Shared)
+			wasDirty = true
+		}
+		if st, ok := cs.L2.Lookup(sub); ok && st == cache.Dirty {
+			cs.L2.SetState(sub, cache.Shared)
+			wasDirty = true
+		}
+	}
+	return wasDirty
+}
+
+// Holds reports whether any subline of the memory line is present.
+func (cs *CacheSet) Holds(addr uint64) bool {
+	base := cs.AlignMem(addr)
+	for sub := base; sub < base+cs.memLineBytes; sub += cs.L2.LineBytes() {
+		if _, ok := cs.L2.Lookup(sub); ok {
+			return true
+		}
+		if _, ok := cs.L1.Lookup(sub); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties both caches, calling fn once per valid L2 line.
+func (cs *CacheSet) Flush(fn func(addr uint64, s cache.State)) {
+	cs.L1.Flush(nil)
+	cs.L2.Flush(fn)
+}

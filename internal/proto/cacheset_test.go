@@ -1,0 +1,127 @@
+package proto
+
+import (
+	"testing"
+
+	"pimdsm/internal/cache"
+)
+
+func newCS(t *testing.T) *CacheSet {
+	t.Helper()
+	return MustNewCacheSet(DefaultCacheGeom(1024, 4096), 128)
+}
+
+func TestCacheSetMissThenHit(t *testing.T) {
+	cs := newCS(t)
+	if hit, _, up := cs.Lookup(0x1000, false); hit || up {
+		t.Fatal("hit in empty cache pair")
+	}
+	cs.Fill(0x1000, false)
+	if hit, class, _ := cs.Lookup(0x1000, false); !hit || class != LatL1 {
+		t.Fatalf("after fill: hit=%v class=%v, want L1", hit, class)
+	}
+}
+
+func TestCacheSetMemLineGranularityFill(t *testing.T) {
+	cs := newCS(t)
+	cs.Fill(0x1000, false)
+	// The other 64B subline of the 128B memory line is in L2 but not L1.
+	if hit, class, _ := cs.Lookup(0x1040, false); !hit || class != LatL2 {
+		t.Fatalf("sibling subline: hit=%v class=%v, want L2", hit, class)
+	}
+	// Now it should have been promoted into L1.
+	if hit, class, _ := cs.Lookup(0x1040, false); !hit || class != LatL1 {
+		t.Fatalf("promoted subline: hit=%v class=%v, want L1", hit, class)
+	}
+	// The next memory line is absent.
+	if hit, _, _ := cs.Lookup(0x1080, false); hit {
+		t.Fatal("unfetched memory line present")
+	}
+}
+
+func TestCacheSetStoreUpgrade(t *testing.T) {
+	cs := newCS(t)
+	cs.Fill(0x2000, false) // shared copy
+	hit, _, upgrade := cs.Lookup(0x2000, true)
+	if hit || !upgrade {
+		t.Fatalf("store to shared: hit=%v upgrade=%v, want miss+upgrade", hit, upgrade)
+	}
+	cs.Fill(0x2000, true) // ownership granted
+	if hit, _, _ := cs.Lookup(0x2000, true); !hit {
+		t.Fatal("store after exclusive fill missed")
+	}
+}
+
+func TestCacheSetInvalidateMemLine(t *testing.T) {
+	cs := newCS(t)
+	cs.Fill(0x3000, true)
+	if !cs.Holds(0x3000) {
+		t.Fatal("Holds false after fill")
+	}
+	if dirty := cs.InvalidateMemLine(0x3040); !dirty {
+		t.Fatal("invalidating a dirty line reported clean")
+	}
+	if cs.Holds(0x3000) {
+		t.Fatal("line survives invalidation")
+	}
+	if hit, _, _ := cs.Lookup(0x3000, false); hit {
+		t.Fatal("hit after invalidation")
+	}
+}
+
+func TestCacheSetDowngrade(t *testing.T) {
+	cs := newCS(t)
+	cs.Fill(0x4000, true)
+	if dirty := cs.DowngradeMemLine(0x4000); !dirty {
+		t.Fatal("downgrade of dirty line reported clean")
+	}
+	// Load still hits, store now needs an upgrade.
+	if hit, _, _ := cs.Lookup(0x4000, false); !hit {
+		t.Fatal("load missed after downgrade")
+	}
+	if hit, _, up := cs.Lookup(0x4000, true); hit || !up {
+		t.Fatalf("store after downgrade: hit=%v upgrade=%v", hit, up)
+	}
+	if dirty := cs.DowngradeMemLine(0x4000); dirty {
+		t.Fatal("second downgrade reported dirty")
+	}
+}
+
+func TestCacheSetFillVictims(t *testing.T) {
+	// Tiny L2: 4 lines of 64B, 4-way => a single set. Two fills (2 sublines
+	// each) fill it; the third fill must evict two lines.
+	cs := MustNewCacheSet(CacheGeom{L1Bytes: 128, L2Bytes: 256, LineBytes: 64, L2Assoc: 4}, 128)
+	if v := cs.Fill(0x0000, true); len(v) != 0 {
+		t.Fatalf("first fill evicted %v", v)
+	}
+	if v := cs.Fill(0x0080, false); len(v) != 0 {
+		t.Fatalf("second fill evicted %v", v)
+	}
+	victims := cs.Fill(0x0100, false)
+	if len(victims) != 2 {
+		t.Fatalf("third fill evicted %d lines, want 2", len(victims))
+	}
+	dirty := 0
+	for _, v := range victims {
+		if v.State == cache.Dirty {
+			dirty++
+		}
+	}
+	if dirty != 2 {
+		t.Fatalf("want the 2 dirty LRU sublines evicted, got %d dirty", dirty)
+	}
+}
+
+func TestCacheSetFlush(t *testing.T) {
+	cs := newCS(t)
+	cs.Fill(0x1000, true)
+	cs.Fill(0x2000, false)
+	n := 0
+	cs.Flush(func(_ uint64, _ cache.State) { n++ })
+	if n != 4 { // two fills × two sublines
+		t.Fatalf("flushed %d L2 lines, want 4", n)
+	}
+	if cs.Holds(0x1000) || cs.Holds(0x2000) {
+		t.Fatal("lines survive flush")
+	}
+}

@@ -1,0 +1,108 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: a time-ordered event queue, contended resources modeled by
+// busy-until serialization, and a scheduler for simulated threads that always
+// advances the thread with the smallest local clock.
+//
+// All simulated time is measured in processor cycles (the paper's machines
+// cycle at 1 GHz, so a cycle is also a nanosecond, but nothing here depends
+// on that).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in CPU cycles.
+type Time uint64
+
+// Never is a sentinel Time larger than any reachable simulation time.
+const Never = Time(1<<63 - 1)
+
+// Event is a closure scheduled to run at a given simulated time.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: insertion order, for determinism
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // min event time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is ready
+// to use.
+type Engine struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// NextAt returns the time of the earliest pending event.
+func (e *Engine) NextAt() (Time, bool) { return e.pq.peek() }
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		at, ok := e.pq.peek()
+		if !ok || at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.At(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested scheduling: %v", fired)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() { e.At(5, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.RunUntil(15)
+	if ran != 1 {
+		t.Fatalf("RunUntil(15) ran %d events, want 1", ran)
+	}
+	if e.Now() != 15 {
+		t.Fatalf("Now = %d, want 15", e.Now())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("after Run, ran = %d, want 2", ran)
+	}
+}
+
+func TestResourceUncontended(t *testing.T) {
+	var r Resource
+	if start := r.Acquire(100, 10); start != 100 {
+		t.Fatalf("uncontended start = %d, want 100", start)
+	}
+	if r.FreeAt() != 110 {
+		t.Fatalf("FreeAt = %d, want 110", r.FreeAt())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 100)
+	if start := r.Acquire(10, 5); start != 100 {
+		t.Fatalf("queued start = %d, want 100", start)
+	}
+	busy, n, waited := r.Utilization()
+	if busy != 105 || n != 2 || waited != 90 {
+		t.Fatalf("utilization = (%d,%d,%d), want (105,2,90)", busy, n, waited)
+	}
+}
+
+func TestResourceBackfill(t *testing.T) {
+	var r Resource
+	// A far-future reservation must not delay an earlier request that fits
+	// in the gap before it (requests arrive out of time order because
+	// simulated threads run ahead of one another).
+	r.Acquire(1000, 50)
+	if start := r.Acquire(10, 20); start != 10 {
+		t.Fatalf("backfill start = %d, want 10", start)
+	}
+	// A request that does not fit in the gap queues after the reservation.
+	if start := r.Acquire(990, 100); start != 1050 {
+		t.Fatalf("non-fitting start = %d, want 1050", start)
+	}
+	if r.FreeAt() != 1150 {
+		t.Fatalf("FreeAt = %d, want 1150", r.FreeAt())
+	}
+}
+
+func TestResourceBlockMerges(t *testing.T) {
+	var r Resource
+	r.Acquire(100, 10)
+	r.Acquire(200, 10)
+	r.Block(105, 205) // overlaps both reservations: merges into [100,210)
+	if start := r.Acquire(50, 10); start != 50 {
+		t.Fatalf("gap before block: start = %d, want 50", start)
+	}
+	if start := r.Acquire(102, 1); start != 210 {
+		t.Fatalf("inside block: start = %d, want 210", start)
+	}
+}
+
+// Property: for any sequence of (arrival time, hold), every service window
+// starts at or after its arrival and no two service windows overlap.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	type win struct{ s, e Time }
+	f := func(arrivals []uint32, holds []uint16) bool {
+		var r Resource
+		var wins []win
+		n := len(arrivals)
+		if len(holds) < n {
+			n = len(holds)
+		}
+		for i := 0; i < n; i++ {
+			now := Time(arrivals[i] % 100000)
+			hold := Time(holds[i]%500 + 1)
+			start := r.Acquire(now, hold)
+			if start < now {
+				return false // started before arrival
+			}
+			wins = append(wins, win{start, start + hold})
+		}
+		for i := range wins {
+			for j := i + 1; j < len(wins); j++ {
+				if wins[i].s < wins[j].e && wins[j].s < wins[i].e {
+					return false // overlap
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

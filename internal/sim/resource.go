@@ -1,0 +1,129 @@
+package sim
+
+import "sort"
+
+// Resource models a serially-reusable hardware resource (a network link, a
+// memory bank, a D-node protocol processor). It keeps a calendar of busy
+// intervals: a request arriving at time t is served in the earliest gap at
+// or after t that fits its occupancy. Because simulated threads run ahead of
+// one another, requests do not arrive in time order — a request with an
+// earlier timestamp must be allowed to backfill a gap before reservations
+// made further in the future, otherwise laggard threads would queue behind
+// resources that are physically idle.
+type Resource struct {
+	iv []interval // busy intervals: sorted, disjoint, non-adjacent
+
+	// Accounting.
+	busy     Time // total cycles the resource was held
+	acquires uint64
+	waited   Time // total cycles requesters waited before service
+}
+
+type interval struct{ s, e Time }
+
+// maxIntervals bounds calendar memory: when exceeded, the oldest half is
+// coalesced into one conservative busy block (only requests arriving with
+// very stale timestamps can be over-delayed by this).
+const maxIntervals = 4096
+
+// Acquire requests the resource at time now for hold cycles and returns the
+// service start time (≥ now): the beginning of the earliest gap of length
+// hold at or after now.
+func (r *Resource) Acquire(now, hold Time) (start Time) {
+	r.acquires++
+	r.busy += hold
+	start = r.place(now, hold)
+	r.waited += start - now
+	if hold > 0 {
+		r.reserve(start, start+hold)
+	}
+	return start
+}
+
+// place finds the earliest gap of length hold at or after now.
+func (r *Resource) place(now, hold Time) Time {
+	cand := now
+	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e > now })
+	for ; i < len(r.iv); i++ {
+		if r.iv[i].s >= cand+hold {
+			break // the gap before this interval fits
+		}
+		if r.iv[i].e > cand {
+			cand = r.iv[i].e
+		}
+	}
+	return cand
+}
+
+// reserve inserts the busy interval [s, e), merging with abutting
+// neighbours. place guarantees [s, e) overlaps no existing interval.
+func (r *Resource) reserve(s, e Time) {
+	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e > s })
+	prevAbuts := i > 0 && r.iv[i-1].e == s
+	nextAbuts := i < len(r.iv) && r.iv[i].s == e
+	switch {
+	case prevAbuts && nextAbuts:
+		r.iv[i-1].e = r.iv[i].e
+		r.iv = append(r.iv[:i], r.iv[i+1:]...)
+	case prevAbuts:
+		r.iv[i-1].e = e
+	case nextAbuts:
+		r.iv[i].s = s
+	default:
+		r.iv = append(r.iv, interval{})
+		copy(r.iv[i+1:], r.iv[i:])
+		r.iv[i] = interval{s, e}
+	}
+	if len(r.iv) > maxIntervals {
+		half := len(r.iv) / 2
+		r.iv[half-1] = interval{r.iv[0].s, r.iv[half-1].e}
+		r.iv = r.iv[half-1:]
+	}
+}
+
+// Block marks the resource busy over [from, to), merging with and absorbing
+// any existing reservations it overlaps. Used when an operation's duration
+// (e.g. an OS pageout on a D-node) is only known after its component costs
+// are computed.
+func (r *Resource) Block(from, to Time) {
+	if to <= from {
+		return
+	}
+	r.busy += to - from
+	lo := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e >= from })
+	hi := lo
+	for hi < len(r.iv) && r.iv[hi].s <= to {
+		if r.iv[hi].s < from {
+			from = r.iv[hi].s
+		}
+		if r.iv[hi].e > to {
+			to = r.iv[hi].e
+		}
+		hi++
+	}
+	if lo == hi {
+		r.iv = append(r.iv, interval{})
+		copy(r.iv[lo+1:], r.iv[lo:])
+		r.iv[lo] = interval{from, to}
+		return
+	}
+	r.iv[lo] = interval{from, to}
+	r.iv = append(r.iv[:lo+1], r.iv[hi:]...)
+}
+
+// FreeAt returns the end of the last reservation (0 if never used).
+func (r *Resource) FreeAt() Time {
+	if len(r.iv) == 0 {
+		return 0
+	}
+	return r.iv[len(r.iv)-1].e
+}
+
+// Utilization returns total held cycles, number of acquisitions, and total
+// queueing delay imposed on requesters.
+func (r *Resource) Utilization() (busy Time, acquires uint64, waited Time) {
+	return r.busy, r.acquires, r.waited
+}
+
+// Reset clears the resource to idle and zeroes accounting.
+func (r *Resource) Reset() { *r = Resource{} }

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Status is the result of a Thread.Step call.
+type Status uint8
+
+const (
+	// Runnable means the thread advanced and can be stepped again.
+	Runnable Status = iota
+	// Parked means the thread blocked (barrier, lock, explicit pause) and
+	// must not be stepped until Unpark is called for it.
+	Parked
+	// Done means the thread finished its op stream.
+	Done
+)
+
+// Thread is a simulated thread of execution with its own local clock.
+// Implementations advance their clock in Step as they consume simulated work.
+type Thread interface {
+	// ID returns a unique, stable identifier (also the tie-breaker for
+	// deterministic scheduling).
+	ID() int
+	// Clock returns the thread's local time.
+	Clock() Time
+	// Step executes the thread's next unit of work.
+	Step() Status
+	// Resume moves the thread's clock forward to at least t. Called when a
+	// parked thread is released (the releaser decides the wake-up time).
+	Resume(t Time)
+}
+
+// Scheduler interleaves threads deterministically by always stepping the
+// runnable thread with the smallest local clock (ties broken by ID). Because
+// global time never moves backwards across steps, contended Resources are
+// acquired in nondecreasing time order.
+type Scheduler struct {
+	h      threadHeap
+	byID   map[int]*schedEntry
+	parked int
+	done   int
+	total  int
+}
+
+type schedEntry struct {
+	t      Thread
+	idx    int // heap index; -1 when not in heap
+	parked bool
+	fini   bool
+}
+
+type threadHeap []*schedEntry
+
+func (h threadHeap) Len() int { return len(h) }
+func (h threadHeap) Less(i, j int) bool {
+	ci, cj := h[i].t.Clock(), h[j].t.Clock()
+	if ci != cj {
+		return ci < cj
+	}
+	return h[i].t.ID() < h[j].t.ID()
+}
+func (h threadHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *threadHeap) Push(x any) {
+	e := x.(*schedEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *threadHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{byID: make(map[int]*schedEntry)}
+}
+
+// Add registers a thread. Adding two threads with the same ID panics.
+func (s *Scheduler) Add(t Thread) {
+	if _, dup := s.byID[t.ID()]; dup {
+		panic(fmt.Sprintf("sim: duplicate thread id %d", t.ID()))
+	}
+	e := &schedEntry{t: t, idx: -1}
+	s.byID[t.ID()] = e
+	heap.Push(&s.h, e)
+	s.total++
+}
+
+// Unpark releases a parked thread, resuming it at time ≥ t. Unparking a
+// thread that is not parked panics (it would indicate a protocol bug).
+func (s *Scheduler) Unpark(id int, t Time) {
+	e, ok := s.byID[id]
+	if !ok || !e.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked thread %d", id))
+	}
+	e.parked = false
+	s.parked--
+	e.t.Resume(t)
+	heap.Push(&s.h, e)
+}
+
+// Running reports how many threads are neither parked nor done.
+func (s *Scheduler) Running() int { return len(s.h) }
+
+// Done reports how many threads have finished.
+func (s *Scheduler) Done() int { return s.done }
+
+// Step runs one step of the earliest thread. It reports false when no thread
+// is runnable (all parked or done).
+func (s *Scheduler) Step() bool {
+	if len(s.h) == 0 {
+		return false
+	}
+	e := s.h[0]
+	switch e.t.Step() {
+	case Runnable:
+		heap.Fix(&s.h, e.idx)
+	case Parked:
+		heap.Remove(&s.h, e.idx)
+		e.parked = true
+		s.parked++
+	case Done:
+		heap.Remove(&s.h, e.idx)
+		e.fini = true
+		s.done++
+	}
+	return true
+}
+
+// Run steps threads until none are runnable. It returns an error if threads
+// remain parked with nobody left to wake them (a deadlock in the simulated
+// program), which would otherwise be silent.
+func (s *Scheduler) Run() error {
+	for s.Step() {
+	}
+	if s.parked > 0 {
+		return fmt.Errorf("sim: deadlock: %d of %d threads parked with no runnable thread", s.parked, s.total)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package stats collects the measurements the paper reports: read latency
+// sums by satisfaction level (Figure 7), protocol event counts, and per-run
+// execution-time breakdowns (Figure 6).
+package stats
+
+import (
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+)
+
+// Machine aggregates coherence-engine counters for one simulated machine.
+type Machine struct {
+	// ReadLatSum/ReadCount accumulate the latency of every read in the
+	// program, whether or not the processor stalled for it (the paper's
+	// Figure 7 "adds up the latency of all the reads ... irrespective of
+	// whether or not the processor was stalled").
+	ReadLatSum [proto.NumLatClasses]sim.Time
+	ReadCount  [proto.NumLatClasses]uint64
+	// Write transactions, by the same classes.
+	WriteLatSum [proto.NumLatClasses]sim.Time
+	WriteCount  [proto.NumLatClasses]uint64
+
+	Invalidations uint64 // invalidation messages sent
+	WriteBacks    uint64 // dirty/master displacements written back to a home
+	Recalls       uint64 // lines recalled from P-nodes during pageout
+	Pageouts      uint64 // pages written out by D-nodes (AGG)
+	DiskFaults    uint64 // accesses that had to touch disk-resident data
+	Injections    uint64 // COMA master-line injections
+	InjectionHops uint64 // cumulative injection cascade length
+	Overflows     uint64 // COMA injections that fell back to the disk path
+	Upgrades      uint64 // ownership transactions without data transfer
+	FirstTouches  uint64 // pages mapped on first touch
+	Scans         uint64 // computation-in-memory scan operations
+	ScanLines     uint64 // lines traversed by D-node scans
+	CrisisPauses  uint64 // transactions stalled on a synchronous pageout
+}
+
+// Read records a completed read.
+func (m *Machine) Read(class proto.LatClass, lat sim.Time) {
+	m.ReadLatSum[class] += lat
+	m.ReadCount[class]++
+}
+
+// Write records a completed write transaction.
+func (m *Machine) Write(class proto.LatClass, lat sim.Time) {
+	m.WriteLatSum[class] += lat
+	m.WriteCount[class]++
+}
+
+// TotalReadLat returns the sum of all read latencies (the Figure 7 bar height).
+func (m *Machine) TotalReadLat() sim.Time {
+	var t sim.Time
+	for _, v := range m.ReadLatSum {
+		t += v
+	}
+	return t
+}
+
+// Reads returns the total number of reads.
+func (m *Machine) Reads() uint64 {
+	var t uint64
+	for _, v := range m.ReadCount {
+		t += v
+	}
+	return t
+}
+
+// Diff returns the counters accumulated since the snapshot prev was taken.
+func (m *Machine) Diff(prev *Machine) Machine {
+	d := *m
+	for i := range d.ReadLatSum {
+		d.ReadLatSum[i] -= prev.ReadLatSum[i]
+		d.ReadCount[i] -= prev.ReadCount[i]
+		d.WriteLatSum[i] -= prev.WriteLatSum[i]
+		d.WriteCount[i] -= prev.WriteCount[i]
+	}
+	d.Invalidations -= prev.Invalidations
+	d.WriteBacks -= prev.WriteBacks
+	d.Recalls -= prev.Recalls
+	d.Pageouts -= prev.Pageouts
+	d.DiskFaults -= prev.DiskFaults
+	d.Injections -= prev.Injections
+	d.InjectionHops -= prev.InjectionHops
+	d.Overflows -= prev.Overflows
+	d.Upgrades -= prev.Upgrades
+	d.FirstTouches -= prev.FirstTouches
+	d.Scans -= prev.Scans
+	d.ScanLines -= prev.ScanLines
+	d.CrisisPauses -= prev.CrisisPauses
+	return d
+}
+
+// Thread carries per-thread time accounting for the Figure 6 breakdown.
+type Thread struct {
+	Busy     sim.Time // instruction execution (Processor)
+	MemStall sim.Time // stalled waiting for loads/stores (Memory)
+	SyncSpin sim.Time // spinning at barriers/locks (counted as Processor)
+	Finish   sim.Time // local clock at completion
+	Ops      uint64
+	Loads    uint64
+	Stores   uint64
+}
+
+// Breakdown is a run's execution-time split normalized the way Figure 6
+// reports it: total wall time, with the Memory component being the average
+// per-thread memory stall and Processor the remainder (busy + sync spin +
+// load imbalance).
+type Breakdown struct {
+	Exec      sim.Time
+	Memory    sim.Time
+	Processor sim.Time
+}
+
+// NewBreakdown derives a Breakdown from per-thread accounting.
+func NewBreakdown(threads []Thread) Breakdown {
+	if len(threads) == 0 {
+		return Breakdown{}
+	}
+	var exec sim.Time
+	var memSum sim.Time
+	for i := range threads {
+		if threads[i].Finish > exec {
+			exec = threads[i].Finish
+		}
+		memSum += threads[i].MemStall
+	}
+	mem := memSum / sim.Time(len(threads))
+	proc := exec - mem
+	return Breakdown{Exec: exec, Memory: mem, Processor: proc}
+}

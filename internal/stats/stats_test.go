@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+)
+
+func TestReadWriteAccumulation(t *testing.T) {
+	var m Machine
+	m.Read(proto.LatL1, 3)
+	m.Read(proto.LatL1, 3)
+	m.Read(proto.Lat2Hop, 300)
+	m.Write(proto.Lat3Hop, 400)
+	if m.Reads() != 3 {
+		t.Fatalf("Reads = %d, want 3", m.Reads())
+	}
+	if m.TotalReadLat() != 306 {
+		t.Fatalf("TotalReadLat = %d, want 306", m.TotalReadLat())
+	}
+	if m.WriteCount[proto.Lat3Hop] != 1 || m.WriteLatSum[proto.Lat3Hop] != 400 {
+		t.Fatal("write accounting wrong")
+	}
+}
+
+func TestDiffSubtractsEverything(t *testing.T) {
+	var a Machine
+	a.Read(proto.LatMem, 50)
+	a.Invalidations = 5
+	a.WriteBacks = 7
+	a.Pageouts = 2
+	a.Scans = 3
+	a.CrisisPauses = 1
+	snap := a
+	a.Read(proto.LatMem, 50)
+	a.Read(proto.Lat2Hop, 300)
+	a.Invalidations = 9
+	a.WriteBacks = 10
+	a.Pageouts = 2
+	a.Scans = 4
+	a.CrisisPauses = 2
+	d := a.Diff(&snap)
+	if d.Reads() != 2 || d.ReadLatSum[proto.LatMem] != 50 || d.ReadLatSum[proto.Lat2Hop] != 300 {
+		t.Fatalf("diff reads: %+v", d)
+	}
+	if d.Invalidations != 4 || d.WriteBacks != 3 || d.Pageouts != 0 || d.Scans != 1 || d.CrisisPauses != 1 {
+		t.Fatalf("diff counters: %+v", d)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	threads := []Thread{
+		{MemStall: 100, Finish: 1000},
+		{MemStall: 300, Finish: 900},
+	}
+	bd := NewBreakdown(threads)
+	if bd.Exec != 1000 {
+		t.Fatalf("Exec = %d, want max finish 1000", bd.Exec)
+	}
+	if bd.Memory != 200 {
+		t.Fatalf("Memory = %d, want mean stall 200", bd.Memory)
+	}
+	if bd.Memory+bd.Processor != bd.Exec {
+		t.Fatal("breakdown does not add up")
+	}
+	if got := NewBreakdown(nil); got != (Breakdown{}) {
+		t.Fatalf("empty breakdown = %+v", got)
+	}
+}
+
+// Property: for any pair of snapshots where the later is the earlier plus
+// some deltas, Diff recovers exactly the deltas.
+func TestDiffProperty(t *testing.T) {
+	f := func(base, delta uint32, lat uint16) bool {
+		var before Machine
+		before.Invalidations = uint64(base)
+		before.Read(proto.Lat2Hop, sim.Time(lat))
+		after := before
+		after.Invalidations += uint64(delta)
+		after.Read(proto.Lat3Hop, sim.Time(lat)*2)
+		d := after.Diff(&before)
+		return d.Invalidations == uint64(delta) &&
+			d.ReadCount[proto.Lat3Hop] == 1 &&
+			d.ReadCount[proto.Lat2Hop] == 0 &&
+			d.ReadLatSum[proto.Lat3Hop] == sim.Time(lat)*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

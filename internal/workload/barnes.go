@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"pimdsm/internal/cpu"
+)
+
+// barnes models the SPLASH-2 Barnes-Hut N-body code (Table 3: 16K bodies,
+// 8K/32K caches). Tree build inserts each thread's bodies along short,
+// pseudo-random, lock-protected paths (irregular write sharing); the force
+// phase walks the read-mostly shared tree with *dependent* loads — pointer
+// chasing that exposes full memory latency, making Barnes the
+// latency-sensitive counterpoint to the streaming codes.
+type barnes struct {
+	bodies uint64 // 64 B each
+	iters  int
+	walk   int // tree nodes visited per body in the force phase
+}
+
+func newBarnes(scale float64) *barnes {
+	return &barnes{bodies: scaleCount(16384, scale, 512), iters: 3, walk: 12}
+}
+
+func (b *barnes) Name() string { return "barnes" }
+
+func (b *barnes) Footprint() uint64 {
+	// Hot: body records + tree cells (2 per body). Cold but resident: the
+	// remaining per-body state (velocities, accelerations, old positions)
+	// that the real code keeps but the force loop does not stream over.
+	return b.bodies*64 + 2*b.bodies*64 + b.coldBytes() + 1024*LineBytes
+}
+
+func (b *barnes) coldBytes() uint64 { return 6 * b.bodies * 64 }
+
+func (b *barnes) Caches() (uint64, uint64) {
+	return scaledCaches(b.Footprint(), 9<<20, 8<<10, 32<<10)
+}
+
+func (b *barnes) Streams(threads int) []cpu.Stream {
+	var lay Layout
+	bodies := lay.Region(b.bodies * 64)
+	tree := lay.Region(2 * b.bodies * 64)
+	cold := lay.Region(b.coldBytes())
+	// The real code locks individual cells; model a large lock array so
+	// contention stays low and spreads across many homes.
+	const nLocks = 1024
+	locks := lay.Region(nLocks * LineBytes)
+	treeNodes := 2 * b.bodies
+
+	streams := make([]cpu.Stream, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		streams[tid] = newStream(func(e *E) {
+			rng := rand.New(rand.NewPCG(0xba57e5, uint64(tid)))
+			blo, bhi := lineRange(b.bodies, tid, threads) // body index range
+
+			for i := blo; i < bhi; i++ {
+				e.Store(bodies + i*64)
+				e.Compute(2)
+			}
+			initRegionCyclic(e, tree, treeNodes*64/LineBytes, tid, threads)
+			initRegion(e, cold, b.coldBytes()/LineBytes, tid, threads)
+			e.Barrier(threads)
+			e.Phase(PhaseMeasured)
+
+			// Walks concentrate near the root: the hot top ~0.5% of cells
+			// absorb most steps and get replicated into every node's local
+			// memory; deep visits cluster in a window that tracks the
+			// body's spatial region (nearby bodies open the same cells).
+			top := treeNodes / 200
+			if top == 0 {
+				top = 1
+			}
+			const window = 512
+			for it := 0; it < b.iters; it++ {
+				// Tree build: insert each owned body along a path from the
+				// root (hot top cells) down to a leaf near the body's
+				// region; the leaf update is lock-protected.
+				for i := blo; i < bhi; i++ {
+					wbase := (i * 2) % (treeNodes - window)
+					for d := 0; d < 3; d++ {
+						e.Load(tree + rng.Uint64N(top)*64) // dependent: path traversal
+						e.Compute(15)
+					}
+					leaf := wbase + rng.Uint64N(window)
+					e.Load(tree + leaf*64)
+					lk := locks + (leaf%nLocks)*LineBytes
+					e.Acquire(lk)
+					e.Store(tree + leaf*64)
+					e.Release(lk)
+				}
+				e.Barrier(threads)
+				// Force computation: walk the shared tree (read-mostly,
+				// dependent loads), then update the owned body.
+				for i := blo; i < bhi; i++ {
+					e.LoadI(bodies + i*64)
+					wbase := (i * 2) % (treeNodes - window)
+					for d := 0; d < b.walk; d++ {
+						var node uint64
+						if d%4 != 3 {
+							node = rng.Uint64N(top)
+						} else {
+							node = wbase + rng.Uint64N(window)
+						}
+						e.Load(tree + node*64)
+						e.Compute(25) // force contribution arithmetic
+					}
+					e.Store(bodies + i*64)
+				}
+				e.Barrier(threads)
+			}
+		})
+	}
+	return streams
+}

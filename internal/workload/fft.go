@@ -1,0 +1,111 @@
+package workload
+
+import "pimdsm/internal/cpu"
+
+// fft models the SPLASH-2 complex 1-D FFT (Table 3: 64K points, scaled; 4K/16K
+// caches): alternating local butterfly passes over each thread's chunk of the
+// working arrays and all-to-all blocked transposes, separated by barriers.
+// The transpose is the communication phase: every thread reads one sub-block
+// from every other thread's partition — regular all-to-all traffic with
+// independent (overlappable) accesses.
+//
+// Like the real code, only part of the resident footprint is hot: the data
+// and transpose arrays are iterated every stage, while the preserved input
+// and the twiddle/scratch arrays are written during initialization, read
+// once, and then sit resident (they still occupy memory, which is what the
+// memory-pressure experiments measure).
+type fft struct {
+	points uint64 // complex points, 16 B each, per hot array
+	stages int
+}
+
+func newFFT(scale float64) *fft {
+	return &fft{points: scaleCount(65536, scale, 256), stages: 3}
+}
+
+func (f *fft) Name() string { return "fft" }
+
+func (f *fft) Footprint() uint64 {
+	// data + trans (hot) + input copy + two scratch/twiddle arrays (cold).
+	return 5 * f.points * 16
+}
+
+func (f *fft) Caches() (uint64, uint64) {
+	return scaledCaches(f.Footprint(), 5<<20, 4<<10, 16<<10)
+}
+
+// lineRange splits lines among threads at line granularity (works for any
+// thread count, including the non-power-of-two configurations the
+// reconfiguration experiments use).
+func lineRange(lines uint64, t, threads int) (lo, hi uint64) {
+	return lines * uint64(t) / uint64(threads), lines * uint64(t+1) / uint64(threads)
+}
+
+func (f *fft) Streams(threads int) []cpu.Stream {
+	var lay Layout
+	arrBytes := f.points * 16
+	data := lay.Region(arrBytes)
+	trans := lay.Region(arrBytes)
+	input := lay.Region(arrBytes)
+	scratch1 := lay.Region(arrBytes)
+	scratch2 := lay.Region(arrBytes)
+	totalLines := arrBytes / LineBytes
+
+	streams := make([]cpu.Stream, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		streams[tid] = newStream(func(e *E) {
+			lo, hi := lineRange(totalLines, tid, threads)
+			for _, base := range []uint64{data, trans, input, scratch1, scratch2} {
+				initRegionCyclic(e, base, totalLines, tid, threads)
+			}
+			e.Barrier(threads)
+			e.Phase(PhaseMeasured)
+
+			// Read the preserved input once into the working array.
+			for l := lo; l < hi; l++ {
+				e.LoadI(input + l*LineBytes)
+				e.Compute(4)
+				e.Store(data + l*LineBytes)
+			}
+			e.Barrier(threads)
+
+			cur, oth := data, trans
+			for s := 0; s < f.stages; s++ {
+				// Local butterfly passes over the owned chunk (two passes:
+				// the chunk is the reused hot set).
+				for pass := 0; pass < 2; pass++ {
+					for l := lo; l < hi; l++ {
+						e.LoadI(cur + l*LineBytes)
+						e.Compute(64) // ~16 butterflies of ~16 issue slots
+						e.Store(cur + l*LineBytes)
+					}
+				}
+				e.Barrier(threads)
+				// Blocked transpose: read sub-block tid of every thread's
+				// chunk, write it into the owned rows of the other array.
+				myLines := hi - lo
+				for j := 0; j < threads; j++ {
+					jlo, jhi := lineRange(totalLines, j, threads)
+					slo, shi := lineRange(jhi-jlo, tid, threads)
+					if shi == slo {
+						shi = slo + 1 // tiny chunks: at least one line
+					}
+					w := lo
+					for l := jlo + slo; l < jlo+shi && l < jhi; l++ {
+						e.LoadI(cur + l*LineBytes)
+						e.Compute(10)
+						e.Store(oth + w*LineBytes)
+						w++
+						if w >= lo+myLines {
+							w = lo
+						}
+					}
+				}
+				e.Barrier(threads)
+				cur, oth = oth, cur
+			}
+		})
+	}
+	return streams
+}

@@ -1,0 +1,104 @@
+package workload
+
+import "pimdsm/internal/cpu"
+
+// ocean models the SPLASH-2 Ocean current simulation (Table 3: 256x256 grid,
+// 8K/32K caches). Real Ocean keeps ~25 per-point grids; we model 8. Each
+// iteration sweeps the block-row partition reading two source grids and
+// writing a third (rotating through the set), reads only the boundary rows
+// of the two neighbour threads — classic nearest-neighbour sharing — and
+// ends with a lock-protected global error reduction and a barrier.
+type ocean struct {
+	g      uint64 // grid is g x g doubles
+	arrays int
+	iters  int
+}
+
+func newOcean(scale float64) *ocean {
+	g := uint64(256)
+	switch {
+	case scale >= 4:
+		g = 512
+	case scale >= 1:
+		g = 256
+	case scale >= 0.25:
+		g = 128
+	default:
+		g = 64
+	}
+	return &ocean{g: g, arrays: 12, iters: 6}
+}
+
+func (o *ocean) Name() string      { return "ocean" }
+func (o *ocean) Footprint() uint64 { return uint64(o.arrays)*o.g*o.g*8 + PageBytes }
+func (o *ocean) Caches() (uint64, uint64) {
+	return scaledCaches(o.Footprint(), 6<<20, 8<<10, 32<<10)
+}
+
+func (o *ocean) Streams(threads int) []cpu.Stream {
+	var lay Layout
+	bases := make([]uint64, o.arrays)
+	for i := range bases {
+		bases[i] = lay.Region(o.g * o.g * 8)
+	}
+	shared := lay.Region(PageBytes) // global reduction scalar + its lock
+	redLock := shared
+	redVal := shared + LineBytes
+
+	rowBytes := o.g * 8
+	rowLines := rowBytes / LineBytes
+
+	streams := make([]cpu.Stream, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		streams[tid] = newStream(func(e *E) {
+			rlo, rhi := lineRange(o.g, tid, threads)
+			row := func(base uint64, r uint64) uint64 { return base + r*rowBytes }
+
+			for _, base := range bases {
+				for r := rlo; r < rhi; r++ {
+					for l := uint64(0); l < rowLines; l++ {
+						e.Store(row(base, r) + l*LineBytes)
+					}
+					e.Compute(uint32(rowLines))
+				}
+			}
+			e.Barrier(threads)
+			e.Phase(PhaseMeasured)
+
+			for it := 0; it < o.iters; it++ {
+				// The solver updates the same few grids every iteration;
+				// the other fields stay resident but cold.
+				rd1 := bases[0]
+				rd2 := bases[1]
+				wr := bases[2]
+				for r := rlo; r < rhi; r++ {
+					// Boundary rows read one row owned by a neighbour.
+					if r == rlo && r > 0 {
+						for l := uint64(0); l < rowLines; l++ {
+							e.LoadI(row(rd1, r-1) + l*LineBytes)
+						}
+					}
+					if r == rhi-1 && r+1 < o.g {
+						for l := uint64(0); l < rowLines; l++ {
+							e.LoadI(row(rd1, r+1) + l*LineBytes)
+						}
+					}
+					for l := uint64(0); l < rowLines; l++ {
+						e.LoadI(row(rd1, r) + l*LineBytes)
+						e.LoadI(row(rd2, r) + l*LineBytes)
+						e.Compute(50) // 16-point stencil update
+						e.Store(row(wr, r) + l*LineBytes)
+					}
+				}
+				// Global error reduction: one hot lock-protected line.
+				e.Acquire(redLock)
+				e.Load(redVal)
+				e.Store(redVal)
+				e.Release(redLock)
+				e.Barrier(threads)
+			}
+		})
+	}
+	return streams
+}

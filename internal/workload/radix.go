@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math/rand/v2"
+
+	"pimdsm/internal/cpu"
+)
+
+// radix models the SPLASH-2 integer radix sort (Table 3: 1M keys, 1K radix,
+// 8K/32K caches). Each digit iteration has three phases: a local histogram
+// pass over the thread's keys (streaming, independent loads), a
+// lock-protected accumulation into the shared global histogram (heavy
+// synchronization), and the permutation phase that scatters each thread's
+// keys across the whole destination array — the irregular all-to-all *write*
+// traffic that makes Radix the most coherence-intensive SPLASH-2 code.
+type radix struct {
+	keys   uint64 // 4 B each
+	rdx    uint64 // radix buckets
+	digits int
+}
+
+func newRadix(scale float64) *radix {
+	return &radix{keys: scaleCount(1<<20, scale, 1024), rdx: 1024, digits: 2}
+}
+
+func (r *radix) Name() string { return "radix" }
+
+func (r *radix) Footprint() uint64 {
+	// keys + destination + global histogram (+ locks page).
+	return 2*r.keys*4 + r.rdx*4 + PageBytes
+}
+
+func (r *radix) Caches() (uint64, uint64) {
+	return scaledCaches(r.Footprint(), 8<<20, 8<<10, 32<<10)
+}
+
+func (r *radix) Streams(threads int) []cpu.Stream {
+	var lay Layout
+	keys := lay.Region(r.keys * 4)
+	dst := lay.Region(r.keys * 4)
+	hist := lay.Region(r.rdx * 4)
+	locks := lay.Region(PageBytes)
+	const nLocks = 16
+
+	keyLines := r.keys * 4 / LineBytes
+	histLines := (r.rdx*4 + LineBytes - 1) / LineBytes
+
+	streams := make([]cpu.Stream, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		streams[tid] = newStream(func(e *E) {
+			rng := rand.New(rand.NewPCG(0xad1c5, uint64(tid)))
+			lo, hi := lineRange(keyLines, tid, threads)
+			initRegionCyclic(e, keys, keyLines, tid, threads)
+			initRegionCyclic(e, dst, keyLines, tid, threads)
+			initRegionCyclic(e, hist, histLines, tid, threads)
+			e.Barrier(threads)
+			e.Phase(PhaseMeasured)
+
+			from, to := keys, dst
+			for d := 0; d < r.digits; d++ {
+				// Local histogram over the owned keys (private counters
+				// stay cache-resident: modeled as compute).
+				for l := lo; l < hi; l++ {
+					e.LoadI(from + l*LineBytes)
+					e.Compute(40) // 32 keys: extract digit, bump counter
+				}
+				e.Barrier(threads)
+				// Global accumulation: lock-protected sections of the
+				// shared histogram, staggered to avoid total convoying.
+				for s := 0; s < nLocks; s++ {
+					sec := (tid + s) % nLocks
+					e.Acquire(locks + uint64(sec)*LineBytes)
+					slo, shi := lineRange(histLines, sec, nLocks)
+					if shi == slo {
+						shi = slo + 1
+					}
+					for l := slo; l < shi && l < histLines; l++ {
+						e.Load(hist + l*LineBytes)
+						e.Store(hist + l*LineBytes)
+					}
+					e.Release(locks + uint64(sec)*LineBytes)
+					e.Compute(4)
+				}
+				e.Barrier(threads)
+				// Permutation: every owned key line scatters to
+				// pseudo-random destination lines across the whole array.
+				for l := lo; l < hi; l++ {
+					e.LoadI(from + l*LineBytes)
+					e.Compute(30)
+					for k := 0; k < 4; k++ {
+						target := rng.Uint64N(keyLines)
+						e.Store(to + target*LineBytes)
+					}
+				}
+				e.Barrier(threads)
+				from, to = to, from
+			}
+		})
+	}
+	return streams
+}

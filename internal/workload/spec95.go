@@ -1,0 +1,136 @@
+package workload
+
+import "pimdsm/internal/cpu"
+
+// swim models SPEC95 Swim (Table 3: reference problem, 32K/128K caches): a
+// shallow-water finite-difference code auto-parallelized by SUIF. Threads
+// stream over block-row partitions of several large grids with very high
+// memory-level parallelism, almost no sharing beyond block boundaries, and a
+// barrier per time step. Its secondary working set does not fit in the L2
+// (Table 3), so it exercises the local-memory level hard.
+type swim struct {
+	g      uint64 // grid dimension (doubles)
+	arrays int
+	iters  int
+}
+
+func newSwim(scale float64) *swim {
+	g := uint64(512)
+	switch {
+	case scale >= 4:
+		g = 1024
+	case scale >= 1:
+		g = 512
+	case scale >= 0.25:
+		g = 256
+	default:
+		g = 128
+	}
+	return &swim{g: g, arrays: 8, iters: 5}
+}
+
+func (s *swim) Name() string      { return "swim" }
+func (s *swim) Footprint() uint64 { return uint64(s.arrays) * s.g * s.g * 8 }
+func (s *swim) Caches() (uint64, uint64) {
+	return scaledCaches(s.Footprint(), 16<<20, 32<<10, 128<<10)
+}
+
+func (s *swim) Streams(threads int) []cpu.Stream {
+	return gridStreams(threads, s.g, s.arrays, s.iters, 90, 2)
+}
+
+// tomcatv models SPEC95 Tomcatv (Table 3: reference problem, 64K/256K
+// caches): a vectorized mesh-generation code, similar streaming structure to
+// Swim but with more computation per element and fewer arrays.
+type tomcatv struct {
+	g      uint64
+	arrays int
+	iters  int
+}
+
+func newTomcatv(scale float64) *tomcatv {
+	g := uint64(512)
+	switch {
+	case scale >= 4:
+		g = 1024
+	case scale >= 1:
+		g = 512
+	case scale >= 0.25:
+		g = 256
+	default:
+		g = 128
+	}
+	return &tomcatv{g: g, arrays: 7, iters: 5}
+}
+
+func (t *tomcatv) Name() string      { return "tomcatv" }
+func (t *tomcatv) Footprint() uint64 { return uint64(t.arrays) * t.g * t.g * 8 }
+func (t *tomcatv) Caches() (uint64, uint64) {
+	return scaledCaches(t.Footprint(), 14<<20, 32<<10, 128<<10)
+}
+
+func (t *tomcatv) Streams(threads int) []cpu.Stream {
+	return gridStreams(threads, t.g, t.arrays, t.iters, 110, 1)
+}
+
+// gridStreams builds the common SPEC95 pattern: arrays block-row partitioned
+// grids; each iteration streams every owned row of every array (reads from
+// two source arrays, writes one), with computePerLine cycles of work and
+// srcReads independent loads per written line, and a barrier per iteration.
+func gridStreams(threads int, g uint64, arrays, iters int, computePerLine uint32, srcReads int) []cpu.Stream {
+	var lay Layout
+	bases := make([]uint64, arrays)
+	for i := range bases {
+		bases[i] = lay.Region(g * g * 8)
+	}
+	rowBytes := g * 8
+	rowLines := rowBytes / LineBytes
+
+	streams := make([]cpu.Stream, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		streams[tid] = newStream(func(e *E) {
+			rlo, rhi := lineRange(g, tid, threads)
+
+			// SUIF parallelizes the initialization loops on a different
+			// schedule than the compute loops, so first-touch placement is
+			// effectively scattered: page k of each grid lands on thread
+			// k mod threads. This is the "programs that certainly do not
+			// exhibit good locality" case motivating the paper — a plain
+			// CC-NUMA keeps paying remote accesses for it, while AGG/COMA
+			// attract the rows into the local memory once.
+			for _, base := range bases {
+				initRegionCyclic(e, base, g*g*8/LineBytes, tid, threads)
+			}
+			e.Barrier(threads)
+			e.Phase(PhaseMeasured)
+
+			for it := 0; it < iters; it++ {
+				// The same few grids are updated every time step (u, v, p in
+				// the real codes); the remaining arrays are resident but
+				// cold after initialization.
+				dst := bases[0]
+				for k := rlo; k < rhi; k++ {
+					r := k
+					// The block's first row touches a neighbour's row of
+					// the first source array.
+					if k == rlo && r > 0 {
+						for l := uint64(0); l < rowLines; l += 4 {
+							e.LoadI(bases[1] + (r-1)*rowBytes + l*LineBytes)
+						}
+					}
+					for l := uint64(0); l < rowLines; l++ {
+						for sr := 0; sr < srcReads; sr++ {
+							src := bases[1+sr]
+							e.LoadI(src + r*rowBytes + l*LineBytes)
+						}
+						e.Compute(computePerLine)
+						e.Store(dst + r*rowBytes + l*LineBytes)
+					}
+				}
+				e.Barrier(threads)
+			}
+		})
+	}
+	return streams
+}

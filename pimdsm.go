@@ -1,0 +1,98 @@
+// Package pimdsm is a from-scratch reproduction of "Toward a Cost-Effective
+// DSM Organization That Exploits Processor-Memory Integration" (Torrellas,
+// Yang, Nguyen — HPCA 2000).
+//
+// It provides an execution-driven simulator of the paper's AGG architecture
+// — a cache-coherent DSM built from commodity Processor-In-Memory chips with
+// tagged local memories organized as caches and software directory nodes
+// (D-nodes) — together with the CC-NUMA and Flat COMA baselines, synthetic
+// versions of the seven evaluation applications, and experiment drivers that
+// regenerate every table and figure of the paper's evaluation section.
+//
+// Quick start:
+//
+//	res, err := pimdsm.Run(pimdsm.Config{
+//	        Arch:     pimdsm.AGG,
+//	        App:      pimdsm.App("fft", 1.0),
+//	        Threads:  32,
+//	        Pressure: 0.75,
+//	        DRatio:   1,
+//	})
+//
+// The per-figure drivers (Figure6, Figure7, …, Table2) each return
+// structured data plus a formatted text rendering; cmd/figures regenerates
+// everything from the command line.
+package pimdsm
+
+import (
+	"pimdsm/internal/machine"
+	"pimdsm/internal/sim"
+	"pimdsm/internal/workload"
+)
+
+// Arch selects the simulated architecture.
+type Arch = machine.Arch
+
+// The three organizations of the paper's evaluation (§3).
+const (
+	AGG  Arch = machine.AGG
+	NUMA Arch = machine.NUMA
+	COMA Arch = machine.COMA
+)
+
+// Config describes one simulation run. See machine.Config for field
+// documentation.
+type Config = machine.Config
+
+// Result carries a run's measurements.
+type Result = machine.Result
+
+// AppSpec selects and scales one of the benchmark applications:
+// fft, radix, ocean, barnes, swim, tomcatv, dbase, dbase-opt.
+type AppSpec = workload.Spec
+
+// Time is simulated time in CPU cycles (1 GHz: also nanoseconds).
+type Time = sim.Time
+
+// App builds an application spec. Scale 1.0 is the calibrated default size;
+// 0 means 1.0.
+func App(name string, scale float64) AppSpec {
+	return AppSpec{Name: name, Scale: scale}
+}
+
+// Apps lists the seven applications in the paper's order (Table 3).
+func Apps() []string { return workload.Names() }
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) { return machine.Run(cfg) }
+
+// ReconfigCosts is the §4.2 dynamic-reconfiguration overhead model.
+type ReconfigCosts = machine.ReconfigCosts
+
+// ReconfigResult reports the Figure 10(a) experiment.
+type ReconfigResult = machine.ReconfigResult
+
+// RunReconfig runs phase 1 on (aP, aD), reconfigures, and runs phase 2 on
+// (bP, bD), charging the paper's overhead model.
+func RunReconfig(app AppSpec, pressure float64, aP, aD, bP, bD int) (*ReconfigResult, error) {
+	return machine.RunReconfig(app, pressure, aP, aD, bP, bD, machine.DefaultReconfigCosts())
+}
+
+// TuneResult reports the §2.3 static-tuning procedure.
+type TuneResult = machine.TuneResult
+
+// TuneDRatio profiles an application on a wasteful 1/1 AGG machine and uses
+// the recorded D-node processor utilization as the paper's hint for how many
+// D-nodes subsequent runs should request (§2.3). targetUtil 0 means 0.5.
+func TuneDRatio(app AppSpec, pressure float64, threads int, targetUtil float64) (*TuneResult, error) {
+	return machine.TuneDRatio(app, pressure, threads, targetUtil)
+}
+
+// SplitPoint is one P&D division of a fixed machine (the paper's Figure 4).
+type SplitPoint = machine.SplitPoint
+
+// OptimalSplit evaluates P&D divisions of a fixed machine size and returns
+// the evaluated points plus the index of the fastest.
+func OptimalSplit(app AppSpec, pressure float64, total, minP int) ([]SplitPoint, int, error) {
+	return machine.OptimalSplit(app, pressure, total, minP, nil)
+}

@@ -1,0 +1,171 @@
+package pimdsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests here exercise the public API end to end at tiny scales; the heavy
+// figure regenerations live in bench_test.go and cmd/figures.
+
+func TestRunPublicAPI(t *testing.T) {
+	for _, arch := range []Arch{AGG, NUMA, COMA} {
+		res, err := Run(Config{
+			Arch: arch, App: App("ocean", 0.05), Threads: 4, Pressure: 0.5, DRatio: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if res.Breakdown.Exec == 0 {
+			t.Fatalf("%s: zero exec", arch)
+		}
+	}
+}
+
+func TestAppsList(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 7 {
+		t.Fatalf("Apps() = %v, want the paper's seven", apps)
+	}
+	for _, name := range apps {
+		if _, err := Run(Config{Arch: NUMA, App: App(name, 0.05), Threads: 2, Pressure: 0.5}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestReducedRatio(t *testing.T) {
+	// §4.1: FFT, Radix and Ocean run 1/2; the others 1/4.
+	for app, want := range map[string]int{
+		"fft": 2, "radix": 2, "ocean": 2,
+		"barnes": 4, "swim": 4, "tomcatv": 4, "dbase": 4,
+	} {
+		if got := ReducedRatio(app); got != want {
+			t.Errorf("ReducedRatio(%s) = %d, want %d", app, got, want)
+		}
+	}
+}
+
+func TestFigure6And7Small(t *testing.T) {
+	opt := Options{Scale: 0.05, Threads: 4, Apps: []string{"ocean"}}
+	rows, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Bars) != 7 {
+		t.Fatalf("fig6 shape: %d rows, %d bars", len(rows), len(rows[0].Bars))
+	}
+	if rows[0].Bars[0].Label != "NUMA" || rows[0].Bars[0].Exec != 1.0 {
+		t.Fatalf("NUMA bar not normalized to 1: %+v", rows[0].Bars[0])
+	}
+	for _, bar := range rows[0].Bars {
+		if bar.Exec <= 0 {
+			t.Fatalf("bar %s: non-positive exec", bar.Label)
+		}
+		sum := bar.Memory + bar.Processor
+		if diff := sum - bar.Exec; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bar %s: Memory+Processor != Exec", bar.Label)
+		}
+	}
+	txt := FormatFigure6(rows)
+	if !strings.Contains(txt, "ocean") || !strings.Contains(txt, "geomean") {
+		t.Fatalf("fig6 text missing pieces:\n%s", txt)
+	}
+
+	f7 := Figure7(rows)
+	if len(f7) != 1 || len(f7[0].Bars) != 7 {
+		t.Fatal("fig7 shape wrong")
+	}
+	if f7[0].Bars[0].Total < 0.999 || f7[0].Bars[0].Total > 1.001 {
+		t.Fatalf("NUMA fig7 total = %v, want 1.0", f7[0].Bars[0].Total)
+	}
+	if !strings.Contains(FormatFigure7(f7), "2Hop") {
+		t.Fatal("fig7 text missing class headers")
+	}
+}
+
+func TestFigure8Small(t *testing.T) {
+	bars, err := Figure8(Options{Scale: 0.05, Threads: 4, Apps: []string{"radix"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 3 {
+		t.Fatalf("want 3 pressures, got %d", len(bars))
+	}
+	// More pressure => more lines per unit of D storage.
+	if !(bars[0].Total > bars[2].Total) {
+		t.Fatalf("75%% total (%v) not above 25%% total (%v)", bars[0].Total, bars[2].Total)
+	}
+	// At 25% pressure the D-memories have plenty of unused space (paper:
+	// "an average of 75% of the memory in D-nodes is unused" at 25%).
+	if bars[2].Unused < bars[0].Unused {
+		t.Fatalf("unused at 25%% (%v) below unused at 75%% (%v)", bars[2].Unused, bars[0].Unused)
+	}
+	if !strings.Contains(FormatFigure8(bars), "DirtyInP") {
+		t.Fatal("fig8 text missing headers")
+	}
+}
+
+func TestFigure9Small(t *testing.T) {
+	apps, err := Figure9(Options{Scale: 0.05, Apps: []string{"ocean"}}, []int{2, 4}, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 1 || len(apps[0].Cells) != 4 {
+		t.Fatal("fig9 shape wrong")
+	}
+	if apps[0].Cells[0].Exec != 1.0 {
+		t.Fatalf("base cell not normalized: %+v", apps[0].Cells[0])
+	}
+	if !strings.Contains(FormatFigure9(apps), "P=2") {
+		t.Fatal("fig9 text missing grid")
+	}
+}
+
+func TestFigure10aSmall(t *testing.T) {
+	r, err := RunReconfig(App("dbase", 0.05), 0.75, 4, 4, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dynamic != r.Phase1A+r.Reconf+r.Phase2B {
+		t.Fatal("dynamic time not assembled correctly")
+	}
+	if !strings.Contains(FormatFigure10a(r), "dynamic") {
+		t.Fatal("fig10a text missing")
+	}
+}
+
+func TestFigure10bSmall(t *testing.T) {
+	pts, err := Figure10b(Options{Scale: 0.1}, [][2]int{{2, 2}, {4, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Plain != 1.0 {
+		t.Fatalf("fig10b shape: %+v", pts)
+	}
+	for _, pt := range pts {
+		if pt.Opt >= pt.Plain {
+			t.Fatalf("computation in memory did not help at %d&%d: plain %v opt %v",
+				pt.P, pt.D, pt.Plain, pt.Opt)
+		}
+	}
+	if !strings.Contains(FormatFigure10b(pts), "reduction") {
+		t.Fatal("fig10b text missing")
+	}
+}
+
+func TestTables(t *testing.T) {
+	if s := Table1(); !strings.Contains(s, "Local memory") {
+		t.Fatal("table1 missing content")
+	}
+	if s := Table2(); !strings.Contains(s, "Read Exclusive") {
+		t.Fatal("table2 missing content")
+	}
+	s, err := Table3(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "dbase") {
+		t.Fatal("table3 missing apps")
+	}
+}

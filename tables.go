@@ -1,0 +1,63 @@
+package pimdsm
+
+import (
+	"fmt"
+	"strings"
+
+	"pimdsm/internal/proto"
+	"pimdsm/internal/workload"
+)
+
+// Table1 renders the architectural parameters actually used by the
+// simulator (the paper's Table 1).
+func Table1() string {
+	t := proto.DefaultTiming(128)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: architectural parameters (cycles at 1 GHz, uncontended round trips)\n")
+	fmt.Fprintf(&b, "  Write buffer        32-entry (stores retire in background)\n")
+	fmt.Fprintf(&b, "  Load buffer         16-entry (independent loads overlap)\n")
+	fmt.Fprintf(&b, "  On-chip L1          direct-mapped, 64 B lines, %d cycles\n", t.L1Lat)
+	fmt.Fprintf(&b, "  On-chip L2          4-way, 64 B lines, %d cycles\n", t.L2Lat)
+	fmt.Fprintf(&b, "  Memory line         128 B (coherence unit); bandwidth 32 B/cycle\n")
+	fmt.Fprintf(&b, "  Local memory        on-chip %d / off-chip %d cycles, 4-way tagged\n", t.MemOnChip, t.MemOffChip)
+	fmt.Fprintf(&b, "  Remote (uncontended, avg distance) ~298 (2-hop), ~383 (3-hop)\n")
+	fmt.Fprintf(&b, "  Network             2D wormhole mesh, 2 B/cycle/link (AGG);\n")
+	fmt.Fprintf(&b, "                      NUMA/COMA links doubled (equal bisection bandwidth)\n")
+	fmt.Fprintf(&b, "  Pageout device      %d cycles per page\n", t.DiskLat)
+	return b.String()
+}
+
+// Table2 renders the protocol-handler cost model (the paper's Table 2,
+// measured on an R10K; BenchmarkTable2HandlerCosts additionally measures
+// this repository's real Go handler implementations).
+func Table2() string {
+	agg := proto.AGGCosts()
+	hw := agg.Scale(proto.HardwareScale)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: protocol handler latency/occupancy in cycles (AGG software; NUMA/COMA hardware = 70%%)\n")
+	fmt.Fprintf(&b, "  %-16s %12s %24s\n", "handler", "latency", "occupancy")
+	fmt.Fprintf(&b, "  %-16s %5d (%3d) %13d (%3d)\n", "Read", agg.ReadLat, hw.ReadLat, agg.ReadOcc, hw.ReadOcc)
+	fmt.Fprintf(&b, "  %-16s %5d (%3d) %13d (%3d) + %d per inval\n", "Read Exclusive", agg.ReadExLat, hw.ReadExLat, agg.ReadExOcc, hw.ReadExOcc, agg.InvalPerNode)
+	fmt.Fprintf(&b, "  %-16s %5d (%3d) %13d (%3d)\n", "Acknowledgment", agg.AckLat, hw.AckLat, agg.AckOcc, hw.AckOcc)
+	fmt.Fprintf(&b, "  %-16s %5d (%3d) %13d (%3d)\n", "Write Back", agg.WBLat, hw.WBLat, agg.WBOcc, hw.WBOcc)
+	return b.String()
+}
+
+// Table3 renders the applications and problem sizes in use (the paper's
+// Table 3, with the scaled sizes this reproduction runs by default).
+func Table3(opt Options) (string, error) {
+	opt = opt.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: applications (scale %.2f)\n", opt.Scale)
+	fmt.Fprintf(&b, "  %-8s %12s %8s %8s\n", "app", "footprint", "L1", "L2")
+	for _, name := range opt.Apps {
+		a, err := workload.New(AppSpec{Name: name, Scale: opt.Scale})
+		if err != nil {
+			return "", err
+		}
+		l1, l2 := a.Caches()
+		fmt.Fprintf(&b, "  %-8s %9.1f MB %5d KB %5d KB\n",
+			a.Name(), float64(a.Footprint())/(1<<20), l1>>10, l2>>10)
+	}
+	return b.String(), nil
+}
