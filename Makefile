@@ -1,0 +1,23 @@
+# Build, test and benchmark entry points. `make ci` is the tier-1 gate:
+# build + vet + tests, as ROADMAP.md specifies.
+
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+ci: build test

@@ -21,6 +21,7 @@ func benchOpts(apps ...string) Options {
 // transaction implementations — the analogue of the paper running its
 // handlers on an R10K — and reports the modeled (Table 2) costs alongside.
 func BenchmarkTable2HandlerCosts(b *testing.B) {
+	b.ReportAllocs()
 	costs := proto.AGGCosts()
 	b.ReportMetric(float64(costs.ReadLat), "model-read-lat")
 	b.ReportMetric(float64(costs.ReadExOcc), "model-readex-occ")
@@ -37,6 +38,7 @@ func BenchmarkTable2HandlerCosts(b *testing.B) {
 // BenchmarkTable3Workloads generates (and drains) every application's op
 // streams — the workload-generator side of the harness.
 func BenchmarkTable3Workloads(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Table3(Options{Scale: 0.25}); err != nil {
 			b.Fatal(err)
@@ -47,6 +49,7 @@ func BenchmarkTable3Workloads(b *testing.B) {
 // BenchmarkFigure6 regenerates the overall-performance comparison on a
 // two-application subset and reports the AGG-vs-NUMA geomean ratios.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	var rows []AppBars
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -67,6 +70,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 derives the read-latency breakdown from a Figure 6 run
 // and reports AGG's local-memory share (the paper's migration effect).
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	var f7 []Fig7Row
 	for i := 0; i < b.N; i++ {
 		rows, err := Figure6(benchOpts("swim"))
@@ -81,6 +85,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates the D-node census and reports the Dirty-in-P
 // share at 75% pressure.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	var bars []Fig8Bar
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -95,6 +100,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 sweeps a small static-reconfigurability grid and reports
 // the speedup from the 2&2 baseline to the best cell.
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	var apps []Fig9App
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -115,6 +121,7 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10a runs the dynamic-reconfiguration experiment and
 // reports dynamic time relative to the best static configuration.
 func BenchmarkFigure10a(b *testing.B) {
+	b.ReportAllocs()
 	var r *ReconfigResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -133,6 +140,7 @@ func BenchmarkFigure10a(b *testing.B) {
 // BenchmarkFigure10b runs the computation-in-memory comparison and reports
 // Opt's execution-time reduction.
 func BenchmarkFigure10b(b *testing.B) {
+	b.ReportAllocs()
 	var pts []Fig10bPoint
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -151,6 +159,7 @@ func BenchmarkSingleRunNUMA(b *testing.B) { benchSingle(b, NUMA) }
 func BenchmarkSingleRunCOMA(b *testing.B) { benchSingle(b, COMA) }
 
 func benchSingle(b *testing.B, arch Arch) {
+	b.ReportAllocs()
 	cfg := Config{Arch: arch, App: App("ocean", 0.25), Threads: 16, Pressure: 0.75, DRatio: 1}
 	for i := 0; i < b.N; i++ {
 		res, err := Run(cfg)

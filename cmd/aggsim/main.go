@@ -6,18 +6,28 @@
 //
 //	aggsim -arch agg|numa|coma -app fft -pressure 0.75 -dratio 1
 //	       [-threads 32] [-scale 1.0] [-dnodes n]
+//	       [-cpuprofile f] [-memprofile f]
+//
+// -cpuprofile / -memprofile write pprof profiles covering the run (see
+// README.md, "Profiling").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pimdsm"
 	"pimdsm/internal/proto"
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	arch := flag.String("arch", "agg", "architecture: agg, numa or coma")
 	app := flag.String("app", "fft", "application (fft radix ocean barnes swim tomcatv dbase dbase-opt)")
 	pressure := flag.Float64("pressure", 0.75, "memory pressure: footprint / total DRAM")
@@ -25,7 +35,16 @@ func main() {
 	dratio := flag.Int("dratio", 1, "AGG P:D ratio denominator (1, 2 or 4)")
 	dnodes := flag.Int("dnodes", 0, "explicit AGG D-node count (overrides -dratio)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stop()
 
 	cfg := pimdsm.Config{
 		Arch:     pimdsm.Arch(*arch),
@@ -38,7 +57,7 @@ func main() {
 	res, err := pimdsm.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("%s / %s: %d P-nodes", res.Arch, res.App, res.PNodes)
@@ -81,6 +100,42 @@ func main() {
 	net := res.Mesh
 	fmt.Printf("mesh: %d messages, %.1f MB, avg queueing %d cycles\n",
 		net.Messages, float64(net.Bytes)/(1<<20), uint64(net.Queued)/max64(net.Messages, 1))
+	return 0
+}
+
+// startProfiles starts the requested pprof profiles and returns a function
+// that flushes them; it must run before the process exits (so main returns an
+// exit code instead of calling os.Exit directly).
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func max64(a, b uint64) uint64 {

@@ -5,14 +5,20 @@
 //
 //	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b]
 //	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick]
+//	        [-parallel n] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks problem sizes and the Figure 9 grid for a fast smoke pass.
+// -parallel bounds the simulations in flight (default: one per CPU).
+// -cpuprofile / -memprofile write pprof profiles covering the whole
+// regeneration (see README.md, "Profiling").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,14 +26,28 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	threads := flag.Int("threads", 32, "application threads")
 	apps := flag.String("apps", "", "comma-separated app subset")
 	quick := flag.Bool("quick", false, "small scale and coarse grids")
+	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
 
-	opt := pimdsm.Options{Scale: *scale, Threads: *threads}
+	stop, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer stop()
+
+	opt := pimdsm.Options{Scale: *scale, Threads: *threads, Parallel: *parallel}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}
@@ -41,15 +61,17 @@ func main() {
 		combos = [][2]int{{2, 2}, {8, 8}, {28, 4}}
 	}
 
+	code := 0
 	run := func(name string, fn func() error) {
-		want := *exp == "all" || *exp == name
+		want := code == 0 && (*exp == "all" || *exp == name)
 		if !want {
 			return
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			code = 1
+			return
 		}
 		fmt.Printf("[%s regenerated in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -66,13 +88,13 @@ func main() {
 	})
 
 	var fig6 []pimdsm.AppBars
-	need6 := *exp == "all" || *exp == "fig6" || *exp == "fig7"
+	need6 := code == 0 && (*exp == "all" || *exp == "fig6" || *exp == "fig7")
 	if need6 {
 		var err error
 		fig6, err = pimdsm.Figure6(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fig6:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	run("fig6", func() error { fmt.Print(pimdsm.FormatFigure6(fig6)); return nil })
@@ -109,4 +131,40 @@ func main() {
 		fmt.Print(pimdsm.FormatFigure10b(pts))
 		return nil
 	})
+	return code
+}
+
+// startProfiles starts the requested pprof profiles and returns a function
+// that flushes them; it must run before the process exits (so main returns an
+// exit code instead of calling os.Exit directly).
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		cpuFile, err = os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
 }

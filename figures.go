@@ -3,10 +3,8 @@ package pimdsm
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"pimdsm/internal/machine"
 	"pimdsm/internal/proto"
@@ -22,7 +20,14 @@ type Options struct {
 	Threads int
 	// Apps restricts the applications (default: all seven).
 	Apps []string
+	// Parallel bounds the number of simulations run concurrently (default:
+	// one per CPU). Parallelism never changes results: each run is
+	// deterministic given its Config.
+	Parallel int
 }
+
+// sweep returns the worker pool implied by the options.
+func (o Options) sweep() Sweep { return Sweep{Workers: o.Parallel} }
 
 func (o Options) withDefaults() Options {
 	if o.Scale == 0 {
@@ -46,31 +51,6 @@ func ReducedRatio(app string) int {
 		return 2
 	}
 	return 4
-}
-
-// runParallel executes independent simulations on all cores. Each run is
-// internally deterministic, so the results do not depend on scheduling.
-func runParallel(cfgs []Config) ([]*Result, error) {
-	results := make([]*Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i := range cfgs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Run(cfgs[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
 }
 
 // --- Figure 6: overall performance ---
@@ -129,7 +109,7 @@ func Figure6(opt Options) ([]AppBars, error) {
 		for i := range cs {
 			cfgs[i] = cs[i].cfg
 		}
-		results, err := runParallel(cfgs)
+		results, err := opt.sweep().RunMany(cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +248,7 @@ func Figure8(opt Options) ([]Fig8Bar, error) {
 			meta = append(meta, Fig8Bar{App: app, Pressure: int(pr*100 + 0.5)})
 		}
 	}
-	results, err := runParallel(cfgs)
+	results, err := opt.sweep().RunMany(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +330,7 @@ func Figure9(opt Options, ps, ds []int) ([]Fig9App, error) {
 				cells = append(cells, Fig9Cell{P: p, D: d})
 			}
 		}
-		results, err := runParallel(cfgs)
+		results, err := opt.sweep().RunMany(cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -471,7 +451,7 @@ func Figure10b(opt Options, combos [][2]int) ([]Fig10bPoint, error) {
 			})
 		}
 	}
-	results, err := runParallel(cfgs)
+	results, err := opt.sweep().RunMany(cfgs)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package cache
 import "testing"
 
 func BenchmarkSetAssocAccess(b *testing.B) {
+	b.ReportAllocs()
 	c := MustNew(1<<20, 64, 4)
 	for i := 0; i < 1<<14; i++ {
 		c.Insert(uint64(i)*64, Shared, nil)
@@ -14,6 +15,7 @@ func BenchmarkSetAssocAccess(b *testing.B) {
 }
 
 func BenchmarkSetAssocInsertEvict(b *testing.B) {
+	b.ReportAllocs()
 	c := MustNew(1<<16, 64, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -22,6 +24,7 @@ func BenchmarkSetAssocInsertEvict(b *testing.B) {
 }
 
 func BenchmarkLocalMemoryAccess(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNewLocal(1<<20, 128, 4, 0.5)
 	for i := 0; i < 1<<13; i++ {
 		m.Insert(uint64(i)*128, Dirty, nil)
@@ -33,6 +36,7 @@ func BenchmarkLocalMemoryAccess(b *testing.B) {
 }
 
 func BenchmarkLocalMemoryProbeVictim(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNewLocal(1<<18, 128, 4, 0.5)
 	for i := 0; i < 1<<11; i++ {
 		m.Insert(uint64(i)*128, Dirty, nil)

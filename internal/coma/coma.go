@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"pimdsm/internal/cache"
+	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
@@ -90,9 +91,12 @@ type Machine struct {
 	bank   []sim.Resource
 	disk   []sim.Resource
 
-	dir      map[uint64]*dirEntry
-	homes    map[uint64]int // page -> directory home (first touch)
-	provider map[uint64]int // line -> node that last supplied it (injection target)
+	// dir is the open-addressed flat directory (line -> entry); entries come
+	// from a slab pool, so directory growth does not churn the allocator.
+	dir      hashmap.Map[*dirEntry]
+	dirPool  hashmap.Pool[dirEntry]
+	homes    hashmap.Map[int] // page -> directory home (first touch)
+	provider hashmap.Map[int] // line -> node that last supplied it (injection target)
 
 	allNodes []int
 	st       stats.Machine
@@ -116,11 +120,8 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:      cfg,
-		net:      net,
-		dir:      make(map[uint64]*dirEntry),
-		homes:    make(map[uint64]int),
-		provider: make(map[uint64]int),
+		cfg: cfg,
+		net: net,
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.am = make([]*cache.LocalMemory, cfg.Nodes)
@@ -172,20 +173,21 @@ func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageByte
 
 func (m *Machine) homeFor(p int, addr uint64) int {
 	page := m.pageOf(addr)
-	h, ok := m.homes[page]
+	h, ok := m.homes.Get(page)
 	if !ok {
 		h = p
-		m.homes[page] = h
+		m.homes.Put(page, h)
 		m.st.FirstTouches++
 	}
 	return h
 }
 
 func (m *Machine) entry(line uint64) *dirEntry {
-	e, ok := m.dir[line]
+	e, ok := m.dir.Get(line)
 	if !ok {
-		e = &dirEntry{master: -1}
-		m.dir[line] = e
+		e = m.dirPool.Get()
+		e.master = -1
+		m.dir.Put(line, e)
 	}
 	return e
 }
@@ -392,7 +394,7 @@ func (m *Machine) amLat(q int, line uint64) sim.Time {
 // must be injected into another attraction memory.
 func (m *Machine) fill(when sim.Time, p int, addr uint64, st cache.State, writable bool, supplier int) {
 	line := m.alignLine(addr)
-	m.provider[line] = supplier
+	m.provider.Put(line, supplier)
 	v := m.am[p].Insert(line, st, rank)
 	m.caches[p].Fill(addr, writable)
 	if !v.Valid() {
@@ -417,7 +419,7 @@ func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
 		panic(fmt.Sprintf("coma: injecting %#x from %d but master is %d", line, from, e.master))
 	}
 	data := m.net.DataBytes(m.cfg.LineBytes)
-	target := m.provider[line]
+	target, _ := m.provider.Get(line)
 	if target == from || target < 0 || target >= m.cfg.Nodes {
 		target = (from + 1) % m.cfg.Nodes
 	}

@@ -147,12 +147,13 @@ func TestInjectionOverflowSwapsToDisk(t *testing.T) {
 	// A swapped line can be faulted back in.
 	var swapped uint64
 	found := false
-	for l, e := range m.dir {
+	m.dir.Range(func(l uint64, e *dirEntry) bool {
 		if e.state == dirSwapped {
 			swapped, found = l, true
-			break
+			return false
 		}
-	}
+		return true
+	})
 	if !found {
 		t.Fatal("no swapped line recorded")
 	}
@@ -196,21 +197,25 @@ func TestCOMASingleMasterProperty(t *testing.T) {
 				}
 			})
 		}
-		for line, e := range m.dir {
+		ok := true
+		m.dir.Range(func(line uint64, e *dirEntry) bool {
 			switch e.state {
 			case dirShared, dirDirty:
 				if masters[line] != 1 {
 					t.Logf("line %#x in %v has %d masters", line, e.state, masters[line])
+					ok = false
 					return false
 				}
 			case dirSwapped, dirUnfetched:
 				if masters[line] != 0 {
 					t.Logf("line %#x in %v has %d masters", line, e.state, masters[line])
+					ok = false
 					return false
 				}
 			}
-		}
-		return true
+			return true
+		})
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pimdsm/internal/cache"
+	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
@@ -102,7 +103,7 @@ type Machine struct {
 	dbank []sim.Resource
 	disk  []sim.Resource // local paging device
 
-	homes    map[uint64]int // page -> D-node (first touch, round robin)
+	homes    hashmap.Map[int] // page -> D-node (first touch, round robin)
 	nextHome int
 	allP     []int
 
@@ -127,9 +128,8 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		net:   net,
-		homes: make(map[uint64]int),
+		cfg: cfg,
+		net: net,
 	}
 	m.pMesh, m.dMesh = Placement(total, cfg.PNodes, cfg.DNodes)
 	m.caches = make([]*proto.CacheSet, cfg.PNodes)
@@ -228,11 +228,11 @@ func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageByte
 // if OS work was required.
 func (m *Machine) homeFor(t sim.Time, addr uint64) (int, *DirEntry, sim.Time) {
 	page := m.pageOf(addr)
-	d, ok := m.homes[page]
+	d, ok := m.homes.Get(page)
 	if !ok {
 		d = m.nextHome % m.cfg.DNodes
 		m.nextHome++
-		m.homes[page] = d
+		m.homes.Put(page, d)
 		m.st.FirstTouches++
 	}
 	dm := m.dmem[d]
@@ -579,7 +579,7 @@ func (m *Machine) fill(when sim.Time, p int, addr uint64, st cache.State, writab
 // always taken in by their home memory).
 func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 	page := m.pageOf(line)
-	d, ok := m.homes[page]
+	d, ok := m.homes.Get(page)
 	if !ok {
 		panic("core: write-back of a line with no home")
 	}
@@ -808,7 +808,7 @@ func (m *Machine) CheckInvariants() error {
 			if err != nil || !s.Owned() {
 				return
 			}
-			d, ok := m.homes[m.pageOf(addr)]
+			d, ok := m.homes.Get(m.pageOf(addr))
 			if !ok {
 				err = fmt.Errorf("P%d holds %#x (%v) with no home", p, addr, s)
 				return

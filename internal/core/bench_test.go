@@ -9,6 +9,7 @@ import (
 // BenchmarkAccessLocalHit measures the engine's fast path: an access
 // satisfied by the P-node's SRAM caches.
 func BenchmarkAccessLocalHit(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig(2, 2, 1<<20, 4096, 8192, 32768)
 	m, err := New(cfg)
 	if err != nil {
@@ -24,6 +25,7 @@ func BenchmarkAccessLocalHit(b *testing.B) {
 // BenchmarkAccessRemote measures full 2-/3-hop software-handler
 // transactions (the paper's Table 2 handlers as real Go code).
 func BenchmarkAccessRemote(b *testing.B) {
+	b.ReportAllocs()
 	cfg := DefaultConfig(4, 4, 1<<22, 1<<16, 8192, 32768)
 	m, err := New(cfg)
 	if err != nil {
@@ -40,6 +42,7 @@ func BenchmarkAccessRemote(b *testing.B) {
 // BenchmarkDMemAllocRelease measures the Directory/Data/Pointer array
 // management (§2.2.2): slot allocation through the FreeList and SharedList.
 func BenchmarkDMemAllocRelease(b *testing.B) {
+	b.ReportAllocs()
 	d := MustNewDMem(1024, 1536, 128, 4096, 16)
 	for p := uint64(0); p < 32; p++ {
 		if err := d.MapPage(p * 4096); err != nil {

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"pimdsm/internal/hashmap"
 	"pimdsm/internal/proto"
 )
 
@@ -125,10 +126,16 @@ type DMem struct {
 	// reusing more shared slots (the paper's threshold).
 	sharedMin int
 
-	entries map[uint64]*DirEntry
+	// The Directory array is an open-addressed line->entry table (the
+	// simulator's stand-in for the paper's fully-associative hardware
+	// lookup); entries are recycled through a slab pool across page
+	// map/unmap cycles, so steady-state paging allocates nothing.
+	entries   hashmap.Map[*DirEntry]
+	entryPool hashmap.Pool[DirEntry]
+
 	pages   []uint64 // mapped pages in map order (FIFO pageout victims)
-	pageIdx map[uint64]int
-	onDisk  map[uint64]bool // pages whose data was written to disk
+	pageIdx hashmap.Map[int]
+	onDisk  hashmap.Set // pages whose data was written to disk
 
 	// Set-associative mode (§2.2.2's rejected alternative, kept as an
 	// ablation): when saAssoc > 0, a line may only occupy a slot of its
@@ -163,9 +170,6 @@ func NewDMem(dataLines, dirEntries int, lineBytes, pageBytes uint64, sharedMin i
 		sharedHead: nilPtr,
 		sharedTail: nilPtr,
 		sharedMin:  sharedMin,
-		entries:    make(map[uint64]*DirEntry),
-		pageIdx:    make(map[uint64]int),
-		onDisk:     make(map[uint64]bool),
 	}
 	for i := range d.ptrs {
 		d.ptrs[i].prev, d.ptrs[i].next = nilPtr, nilPtr
@@ -277,25 +281,28 @@ func (d *DMem) AlignLine(addr uint64) uint64 { return addr &^ (d.lineBytes - 1) 
 
 // Entry returns the directory entry for the line containing addr, or nil if
 // its page is not mapped here.
-func (d *DMem) Entry(addr uint64) *DirEntry { return d.entries[d.AlignLine(addr)] }
+func (d *DMem) Entry(addr uint64) *DirEntry {
+	e, _ := d.entries.Get(d.AlignLine(addr))
+	return e
+}
 
 // PageMapped reports whether page is currently mapped at this D-node.
-func (d *DMem) PageMapped(page uint64) bool { _, ok := d.pageIdx[page]; return ok }
+func (d *DMem) PageMapped(page uint64) bool { _, ok := d.pageIdx.Get(page); return ok }
 
 // PageOnDisk reports whether page was previously paged out to disk.
-func (d *DMem) PageOnDisk(page uint64) bool { return d.onDisk[page] }
+func (d *DMem) PageOnDisk(page uint64) bool { return d.onDisk.Has(page) }
 
 // DirRoom reports whether the Directory array can accept another page's
 // worth of entries.
 func (d *DMem) DirRoom() bool {
-	return len(d.entries)+int(d.pageBytes/d.lineBytes) <= d.dirCap
+	return d.entries.Len()+int(d.pageBytes/d.lineBytes) <= d.dirCap
 }
 
 // MappedPages returns the number of pages currently mapped.
 func (d *DMem) MappedPages() int { return len(d.pages) }
 
 // MappedLines returns the number of directory entries in use.
-func (d *DMem) MappedLines() int { return len(d.entries) }
+func (d *DMem) MappedLines() int { return d.entries.Len() }
 
 // --- page mapping ---
 
@@ -312,11 +319,12 @@ func (d *DMem) MapPage(page uint64) error {
 		return fmt.Errorf("core: page %#x already mapped", page)
 	}
 	if !d.DirRoom() {
-		return fmt.Errorf("core: directory array full (%d/%d entries)", len(d.entries), d.dirCap)
+		return fmt.Errorf("core: directory array full (%d/%d entries)", d.entries.Len(), d.dirCap)
 	}
-	fromDisk := d.onDisk[page]
+	fromDisk := d.onDisk.Has(page)
 	for a := page; a < page+d.pageBytes; a += d.lineBytes {
-		d.entries[a] = &DirEntry{
+		e := d.entryPool.Get()
+		*e = DirEntry{
 			Addr:      a,
 			State:     DirHome,
 			Master:    HomeMaster,
@@ -324,10 +332,11 @@ func (d *DMem) MapPage(page uint64) error {
 			Unfetched: !fromDisk,
 			OnDisk:    fromDisk,
 		}
+		d.entries.Put(a, e)
 	}
-	d.pageIdx[page] = len(d.pages)
+	d.pageIdx.Put(page, len(d.pages))
 	d.pages = append(d.pages, page)
-	delete(d.onDisk, page)
+	d.onDisk.Remove(page)
 	d.Stats.PagesMapped++
 	return nil
 }
@@ -336,7 +345,7 @@ func (d *DMem) MapPage(page uint64) error {
 // order.
 func (d *DMem) PageLines(page uint64, fn func(*DirEntry)) {
 	for a := page; a < page+d.pageBytes; a += d.lineBytes {
-		if e := d.entries[a]; e != nil {
+		if e, ok := d.entries.Get(a); ok {
 			fn(e)
 		}
 	}
@@ -348,13 +357,13 @@ func (d *DMem) PageLines(page uint64, fn func(*DirEntry)) {
 // (the OS "recalls the lines that are currently not in the D-node memory",
 // §2.2.2).
 func (d *DMem) UnmapPage(page uint64) error {
-	idx, ok := d.pageIdx[page]
+	idx, ok := d.pageIdx.Get(page)
 	if !ok {
 		return fmt.Errorf("core: unmap of unmapped page %#x", page)
 	}
 	for a := page; a < page+d.pageBytes; a += d.lineBytes {
-		e := d.entries[a]
-		if e == nil {
+		e, ok := d.entries.Get(a)
+		if !ok {
 			continue
 		}
 		if e.State != DirHome {
@@ -363,17 +372,18 @@ func (d *DMem) UnmapPage(page uint64) error {
 		if e.LocalPtr != nilPtr {
 			d.releaseSlot(e)
 		}
-		delete(d.entries, a)
+		d.entries.Delete(a)
+		d.entryPool.Put(e)
 	}
 	// Remove from the FIFO page list (swap-with-last keeps this O(1); the
 	// FIFO ordering of the remaining pages is preserved well enough for
 	// victim selection because pageout always takes from the front).
 	last := len(d.pages) - 1
 	d.pages[idx] = d.pages[last]
-	d.pageIdx[d.pages[idx]] = idx
+	d.pageIdx.Put(d.pages[idx], idx)
 	d.pages = d.pages[:last]
-	delete(d.pageIdx, page)
-	d.onDisk[page] = true
+	d.pageIdx.Delete(page)
+	d.onDisk.Add(page)
 	d.Stats.PagesUnmapped++
 	return nil
 }
@@ -469,7 +479,7 @@ func (d *DMem) EnsureSlot(e *DirEntry) (res AllocResult, dropped *DirEntry) {
 	if d.sharedLen > d.sharedMin {
 		i, ok := d.popHead(listShared)
 		if ok {
-			victim := d.entries[d.ptrs[i].line]
+			victim, _ := d.entries.Get(d.ptrs[i].line)
 			if victim == nil || victim.LocalPtr != i {
 				panic("core: SharedList back pointer desynchronized")
 			}
@@ -503,7 +513,7 @@ func (d *DMem) reuseSharedInSet(e *DirEntry) *DirEntry {
 	want := d.saSet(e.Addr)
 	i := d.sharedHead
 	for steps := 0; i != nilPtr && steps < 64; steps++ {
-		victim := d.entries[d.ptrs[i].line]
+		victim, _ := d.entries.Get(d.ptrs[i].line)
 		next := d.ptrs[i].next
 		if victim != nil && d.saSet(victim.Addr) == want {
 			d.unlink(i)
@@ -600,7 +610,7 @@ func (d *DMem) ForceSlot(e *DirEntry) (bool, *DirEntry) {
 	if !ok {
 		return false, nil
 	}
-	victim := d.entries[d.ptrs[i].line]
+	victim, _ := d.entries.Get(d.ptrs[i].line)
 	if victim == nil || victim.LocalPtr != i {
 		panic("core: SharedList back pointer desynchronized")
 	}
@@ -621,7 +631,7 @@ func (d *DMem) NeedPageout() bool {
 
 // CensusAdd accumulates this D-node's Figure 8 classification into c.
 func (d *DMem) CensusAdd(c *Census) {
-	for _, e := range d.entries {
+	d.entries.Range(func(_ uint64, e *DirEntry) bool {
 		switch {
 		case e.State == DirDirty:
 			c.DirtyInP++
@@ -632,7 +642,8 @@ func (d *DMem) CensusAdd(c *Census) {
 		default:
 			c.Untouched++
 		}
-	}
+		return true
+	})
 	c.FreeSlots += d.freeLen
 	c.SlotCap += d.dataCap
 }
@@ -655,7 +666,7 @@ func (d *DMem) CheckInvariants() error {
 			if !p.used {
 				return fmt.Errorf("slot %d on SharedList but free", i)
 			}
-			e := d.entries[p.line]
+			e, _ := d.entries.Get(p.line)
 			if e == nil || e.LocalPtr != int32(i) {
 				return fmt.Errorf("slot %d SharedList back pointer broken", i)
 			}
@@ -677,37 +688,47 @@ func (d *DMem) CheckInvariants() error {
 	}
 	// Every entry with a slot is backed by it; dirty entries hold no slot.
 	slots := 0
-	for a, e := range d.entries {
+	var entErr error
+	d.entries.Range(func(a uint64, e *DirEntry) bool {
 		if a != e.Addr {
-			return fmt.Errorf("entry key %#x != addr %#x", a, e.Addr)
+			entErr = fmt.Errorf("entry key %#x != addr %#x", a, e.Addr)
+			return false
 		}
 		if e.LocalPtr != nilPtr {
 			slots++
 			p := &d.ptrs[e.LocalPtr]
 			if !p.used || p.line != e.Addr {
-				return fmt.Errorf("entry %#x slot %d back pointer broken", a, e.LocalPtr)
+				entErr = fmt.Errorf("entry %#x slot %d back pointer broken", a, e.LocalPtr)
+				return false
 			}
 			if e.State == DirDirty {
-				return fmt.Errorf("entry %#x dirty-in-P but holds a Data slot", a)
+				entErr = fmt.Errorf("entry %#x dirty-in-P but holds a Data slot", a)
+				return false
 			}
 		}
 		if e.State == DirShared && e.Master == HomeMaster && e.LocalPtr == nilPtr {
-			return fmt.Errorf("entry %#x: home is master of a shared line but holds no copy", a)
+			entErr = fmt.Errorf("entry %#x: home is master of a shared line but holds no copy", a)
+			return false
 		}
+		return true
+	})
+	if entErr != nil {
+		return entErr
 	}
 	if slots != noList+shared {
 		return fmt.Errorf("used slots %d != entries with slots %d", noList+shared, slots)
 	}
-	if len(d.entries) > d.dirCap {
-		return fmt.Errorf("directory overflow: %d > %d", len(d.entries), d.dirCap)
+	if d.entries.Len() > d.dirCap {
+		return fmt.Errorf("directory overflow: %d > %d", d.entries.Len(), d.dirCap)
 	}
 	if d.saAssoc > 0 {
 		counts := make([]int, len(d.saCount))
-		for _, e := range d.entries {
+		d.entries.Range(func(_ uint64, e *DirEntry) bool {
 			if e.LocalPtr != nilPtr {
 				counts[d.saSet(e.Addr)]++
 			}
-		}
+			return true
+		})
 		for s := range counts {
 			if counts[s] != d.saCount[s] {
 				return fmt.Errorf("set %d count %d != recorded %d", s, counts[s], d.saCount[s])

@@ -1,0 +1,56 @@
+package hashmap
+
+// poolBlockMin/Max bound the chunk sizes the Pool allocates: blocks double
+// from 64 entries up to 64 Ki entries, so small directories stay small and
+// big ones amortize allocation.
+const (
+	poolBlockMin = 64
+	poolBlockMax = 1 << 16
+)
+
+// Pool is a chunked slab allocator with a free list for fixed-type records
+// (directory entries, page descriptors). Get returns a zeroed *T; Put recycles
+// it. Pointers handed out remain valid for the pool's lifetime — blocks are
+// never moved or reallocated — so callers may hold *T across later Get/Put
+// calls, exactly like individually heap-allocated records but without the
+// per-record garbage-collector cost. The zero value is ready to use.
+type Pool[T any] struct {
+	blocks [][]T
+	free   []*T
+	next   int // block size for the next allocation
+}
+
+// Get returns a zeroed record, reusing a freed one when available.
+func (p *Pool[T]) Get() *T {
+	var zero T
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free = p.free[:n-1]
+		*x = zero
+		return x
+	}
+	if len(p.blocks) == 0 || len(p.blocks[len(p.blocks)-1]) == cap(p.blocks[len(p.blocks)-1]) {
+		if p.next < poolBlockMin {
+			p.next = poolBlockMin
+		} else if p.next < poolBlockMax {
+			p.next *= 2
+		}
+		p.blocks = append(p.blocks, make([]T, 0, p.next))
+	}
+	b := &p.blocks[len(p.blocks)-1]
+	*b = append(*b, zero)
+	return &(*b)[len(*b)-1]
+}
+
+// Put returns x to the pool for reuse. x must have come from Get and must not
+// be used after Put.
+func (p *Pool[T]) Put(x *T) { p.free = append(p.free, x) }
+
+// Live returns the number of records handed out and not yet returned.
+func (p *Pool[T]) Live() int {
+	total := 0
+	for _, b := range p.blocks {
+		total += len(b)
+	}
+	return total - len(p.free)
+}

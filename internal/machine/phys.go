@@ -2,6 +2,7 @@ package machine
 
 import (
 	"pimdsm/internal/cpu"
+	"pimdsm/internal/hashmap"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/workload"
@@ -14,14 +15,14 @@ import (
 // regularly-strided virtual layouts (e.g. several grids exactly 2 MB apart)
 // would otherwise produce.
 type pageTable struct {
-	frames map[uint64]uint64
+	frames hashmap.Map[uint64] // vpage -> physical frame
 	next   uint64
 }
 
 const ptBits = 20 // physical space: 2^20 pages = 4 GB
 
 func newPageTable() *pageTable {
-	return &pageTable{frames: make(map[uint64]uint64)}
+	return &pageTable{}
 }
 
 // translate maps a virtual address to its physical address, allocating a
@@ -30,7 +31,7 @@ func newPageTable() *pageTable {
 func (pt *pageTable) translate(addr uint64) uint64 {
 	vpage := addr / workload.PageBytes
 	off := addr % workload.PageBytes
-	f, ok := pt.frames[vpage]
+	f, ok := pt.frames.Get(vpage)
 	if !ok {
 		// Bijective scramble of the allocation counter: odd multiply mod
 		// 2^ptBits, then bit reversal. The reversal matters: without it the
@@ -40,7 +41,7 @@ func (pt *pageTable) translate(addr uint64) uint64 {
 		// same set block.
 		f = bitrev(pt.next*2654435761&(1<<ptBits-1), ptBits)
 		pt.next++
-		pt.frames[vpage] = f
+		pt.frames.Put(vpage, f)
 	}
 	return f*workload.PageBytes + off
 }

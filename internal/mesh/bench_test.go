@@ -7,6 +7,7 @@ import (
 )
 
 func BenchmarkSendControl(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNew(DefaultConfig(8, 8))
 	for i := 0; i < b.N; i++ {
 		m.Send(sim.Time(i), i%64, (i*7)%64, 16)
@@ -14,6 +15,7 @@ func BenchmarkSendControl(b *testing.B) {
 }
 
 func BenchmarkSendData(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNew(DefaultConfig(8, 8))
 	for i := 0; i < b.N; i++ {
 		m.Send(sim.Time(i*4), i%64, (i*13)%64, 144)

@@ -13,6 +13,7 @@ import (
 
 	"pimdsm/internal/cache"
 	"pimdsm/internal/core"
+	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
@@ -82,8 +83,11 @@ type Machine struct {
 	hproc  []sim.Resource    // on-chip directory/protocol engine
 	bank   []sim.Resource
 
-	dir   map[uint64]*dirEntry
-	homes map[uint64]int // page -> home node (first touch)
+	// dir is the open-addressed home directory (line -> entry); entries come
+	// from a slab pool, so directory growth does not churn the allocator.
+	dir     hashmap.Map[*dirEntry]
+	dirPool hashmap.Pool[dirEntry]
+	homes   hashmap.Map[int] // page -> home node (first touch)
 
 	allNodes []int
 	st       stats.Machine
@@ -107,10 +111,8 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:   cfg,
-		net:   net,
-		dir:   make(map[uint64]*dirEntry),
-		homes: make(map[uint64]int),
+		cfg: cfg,
+		net: net,
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.onchip = make([]*cache.SetAssoc, cfg.Nodes)
@@ -149,10 +151,10 @@ func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageByte
 
 func (m *Machine) homeFor(p int, addr uint64) int {
 	page := m.pageOf(addr)
-	h, ok := m.homes[page]
+	h, ok := m.homes.Get(page)
 	if !ok {
 		h = p
-		m.homes[page] = h
+		m.homes.Put(page, h)
 		m.st.FirstTouches++
 	}
 	return h
@@ -160,10 +162,11 @@ func (m *Machine) homeFor(p int, addr uint64) int {
 
 func (m *Machine) entry(addr uint64) *dirEntry {
 	line := m.alignLine(addr)
-	e, ok := m.dir[line]
+	e, ok := m.dir.Get(line)
 	if !ok {
-		e = &dirEntry{owner: -1}
-		m.dir[line] = e
+		e = m.dirPool.Get()
+		e.owner = -1
+		m.dir.Put(line, e)
 	}
 	return e
 }

@@ -13,6 +13,7 @@ import (
 type CacheSet struct {
 	L1, L2       *cache.SetAssoc
 	memLineBytes uint64
+	victimBuf    []cache.Victim // scratch for Fill; reused across calls
 }
 
 // CacheGeom describes L1/L2 capacities for one application (Table 3).
@@ -81,12 +82,13 @@ func (cs *CacheSet) Lookup(addr uint64, write bool) (hit bool, class LatClass, u
 // Both sublines enter the L2; the referenced subline enters the L1. It
 // returns any valid L2 victims so the engine can act on displaced dirty
 // remote lines (the CC-NUMA baseline writes those back to their homes).
+// The returned slice is valid only until the next Fill on this CacheSet.
 func (cs *CacheSet) Fill(addr uint64, writable bool) []cache.Victim {
 	st := cache.Shared
 	if writable {
 		st = cache.Dirty
 	}
-	var victims []cache.Victim
+	victims := cs.victimBuf[:0]
 	base := cs.AlignMem(addr)
 	for sub := base; sub < base+cs.memLineBytes; sub += cs.L2.LineBytes() {
 		if v := cs.L2.Insert(sub, st, nil); v.Valid() {
@@ -94,6 +96,7 @@ func (cs *CacheSet) Fill(addr uint64, writable bool) []cache.Victim {
 		}
 	}
 	cs.L1.Insert(addr, st, nil)
+	cs.victimBuf = victims
 	return victims
 }
 

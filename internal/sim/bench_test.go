@@ -1,0 +1,85 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEventChurn exercises the engine's schedule/fire/reschedule
+// hot path in isolation: a fixed population of self-rescheduling events churns
+// through the 4-ary heap. Steady state must report 0 allocs/op — the event
+// heap stores events by value in a reused slice, and the single closure is
+// created once outside the loop.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	var e Engine
+	var fn func()
+	fn = func() { e.After(16, fn) }
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), fn)
+	}
+	// Warm the heap slice to steady-state capacity.
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineRecurring measures the periodic-event path: the Recurring
+// record travels through the queue, so firing allocates nothing.
+func BenchmarkEngineRecurring(b *testing.B) {
+	b.ReportAllocs()
+	var e Engine
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Every(Time(i), 16, fn)
+	}
+	for i := 0; i < 256; i++ {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// benchThread is a minimal self-clocking thread for scheduler benchmarks.
+type benchThread struct {
+	id    int
+	clock Time
+	step  Time
+}
+
+func (t *benchThread) ID() int        { return t.id }
+func (t *benchThread) Clock() Time    { return t.clock }
+func (t *benchThread) Resume(at Time) { t.clock = at }
+func (t *benchThread) Step() Status {
+	t.clock += t.step
+	return Runnable
+}
+
+// BenchmarkSchedulerStep measures the scheduler's pick-min/step/reheap cycle
+// with 32 runnable threads advancing at coprime rates (so the heap order
+// keeps changing, as in a real run).
+func BenchmarkSchedulerStep(b *testing.B) {
+	b.ReportAllocs()
+	s := NewScheduler()
+	for i := 0; i < 32; i++ {
+		s.Add(&benchThread{id: i, step: Time(13 + i*7)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+// BenchmarkResourceAcquire measures the busy-calendar resource under
+// out-of-order arrivals.
+func BenchmarkResourceAcquire(b *testing.B) {
+	b.ReportAllocs()
+	var r Resource
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(Time(i*3%(1<<14)), 2)
+	}
+}

@@ -8,10 +8,7 @@
 // on that).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in CPU cycles.
 type Time uint64
@@ -19,38 +16,36 @@ type Time uint64
 // Never is a sentinel Time larger than any reachable simulation time.
 const Never = Time(1<<63 - 1)
 
-// Event is a closure scheduled to run at a given simulated time.
+// event is one scheduled occurrence. Events are stored by value in the
+// engine's inlined 4-ary heap: scheduling pushes a struct into a reused
+// slice, with no container/heap interface boxing and no per-event heap
+// allocation in steady state.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: insertion order, for determinism
 	fn  func()
+	rec *Recurring // non-nil for occurrences of a recurring event
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // min event time
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
+// Recurring is a reusable record for an event that fires periodically. The
+// record (not a fresh closure per occurrence) is what travels through the
+// event queue, so a steady periodic event allocates nothing after setup.
+// Stopped records return to the engine's free list and are recycled by the
+// next Every call.
+type Recurring struct {
+	fn      func()
+	period  Time
+	stopped bool
 }
 
 // Engine is a deterministic discrete-event simulator. The zero value is ready
 // to use.
 type Engine struct {
 	now Time
-	pq  eventHeap
+	ev  []event // inlined 4-ary min-heap ordered by (at, seq)
 	seq uint64
+	// recFree recycles stopped Recurring records.
+	recFree []*Recurring
 }
 
 // Now returns the current simulated time.
@@ -63,26 +58,85 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 
-// Pending reports the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Every schedules fn to run at first and then every period cycles until the
+// returned record is passed to Stop. period must be positive. Each firing
+// reuses the same record, so a periodic event costs no allocation per
+// occurrence.
+func (e *Engine) Every(first, period Time, fn func()) *Recurring {
+	if first < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", first, e.now))
+	}
+	if period == 0 {
+		panic("sim: recurring event with zero period")
+	}
+	var r *Recurring
+	if n := len(e.recFree); n > 0 {
+		r = e.recFree[n-1]
+		e.recFree[n-1] = nil
+		e.recFree = e.recFree[:n-1]
+	} else {
+		r = new(Recurring)
+	}
+	*r = Recurring{fn: fn, period: period}
+	e.seq++
+	e.push(event{at: first, seq: e.seq, rec: r})
+	return r
+}
+
+// Stop cancels a recurring event. Its already-queued next occurrence is
+// discarded (without firing) when it reaches the head of the queue, at which
+// point the record is recycled. Stopping twice is a no-op.
+func (e *Engine) Stop(r *Recurring) { r.stopped = true }
+
+// settle discards stopped recurring occurrences sitting at the queue head,
+// recycling their records.
+func (e *Engine) settle() {
+	for len(e.ev) > 0 && e.ev[0].rec != nil && e.ev[0].rec.stopped {
+		ev := e.pop()
+		ev.rec.fn = nil
+		e.recFree = append(e.recFree, ev.rec)
+	}
+}
+
+// Pending reports the number of scheduled occurrences. Occurrences of stopped
+// recurring events are counted until they are lazily reaped at the queue head.
+func (e *Engine) Pending() int {
+	e.settle()
+	return len(e.ev)
+}
 
 // NextAt returns the time of the earliest pending event.
-func (e *Engine) NextAt() (Time, bool) { return e.pq.peek() }
+func (e *Engine) NextAt() (Time, bool) {
+	e.settle()
+	if len(e.ev) == 0 {
+		return 0, false
+	}
+	return e.ev[0].at, true
+}
 
 // Step runs the earliest pending event, advancing the clock to its time.
 // It reports whether an event was run.
 func (e *Engine) Step() bool {
-	if len(e.pq) == 0 {
+	e.settle()
+	if len(e.ev) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pop()
 	e.now = ev.at
+	if r := ev.rec; r != nil {
+		// Requeue before firing so fn observes a consistent Pending count;
+		// if fn calls Stop, the queued occurrence is reaped before it fires.
+		e.seq++
+		e.push(event{at: ev.at + r.period, seq: e.seq, rec: r})
+		r.fn()
+		return true
+	}
 	ev.fn()
 	return true
 }
@@ -96,7 +150,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time ≤ t, then advances the clock to t.
 func (e *Engine) RunUntil(t Time) {
 	for {
-		at, ok := e.pq.peek()
+		at, ok := e.NextAt()
 		if !ok || at > t {
 			break
 		}
@@ -104,5 +158,68 @@ func (e *Engine) RunUntil(t Time) {
 	}
 	if t > e.now {
 		e.now = t
+	}
+}
+
+// --- inlined 4-ary min-heap ---
+//
+// A 4-ary layout halves the tree depth of a binary heap; with events stored
+// by value the sift loops touch contiguous memory and compile to straight
+// integer comparisons. Children of node i are 4i+1 .. 4i+4.
+
+func (e *Engine) less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.ev = append(e.ev, ev)
+	i := len(e.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(&e.ev[i], &e.ev[parent]) {
+			break
+		}
+		e.ev[i], e.ev[parent] = e.ev[parent], e.ev[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	top := e.ev[0]
+	n := len(e.ev) - 1
+	e.ev[0] = e.ev[n]
+	e.ev[n] = event{} // release the closure/record reference
+	e.ev = e.ev[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(&e.ev[c], &e.ev[min]) {
+				min = c
+			}
+		}
+		if !e.less(&e.ev[min], &e.ev[i]) {
+			return
+		}
+		e.ev[i], e.ev[min] = e.ev[min], e.ev[i]
+		i = min
 	}
 }

@@ -77,6 +77,90 @@ func TestEngineRunUntil(t *testing.T) {
 	}
 }
 
+// TestEngineHeapStress pushes events with pseudo-random times through the
+// 4-ary heap and checks they fire in nondecreasing (time, insertion) order.
+func TestEngineHeapStress(t *testing.T) {
+	var e Engine
+	const n = 2000
+	var fired []Time
+	seed := uint64(12345)
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		at := Time(seed >> 50) // small range forces many ties
+		e.At(at, func() { fired = append(fired, e.Now()) })
+	}
+	e.Run()
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d events", len(fired), n)
+	}
+	for i := 1; i < n; i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("event %d fired at %d after %d", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+func TestEngineEvery(t *testing.T) {
+	var e Engine
+	var fired []Time
+	var r *Recurring
+	r = e.Every(10, 5, func() {
+		fired = append(fired, e.Now())
+		if len(fired) == 3 {
+			e.Stop(r)
+		}
+	})
+	e.At(100, func() {}) // keeps the queue alive past the recurring event
+	e.Run()
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 15 || fired[2] != 20 {
+		t.Fatalf("recurring firings: %v", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
+// TestEngineEveryRecycled checks that a stopped record returns to the free
+// list and is reused by the next Every.
+func TestEngineEveryRecycled(t *testing.T) {
+	var e Engine
+	r1 := e.Every(0, 10, func() {})
+	e.Step()   // fires at 0, requeues at 10
+	e.Stop(r1) // queued occurrence will be reaped
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Stop, want 0", e.Pending())
+	}
+	r2 := e.Every(20, 10, func() {})
+	if r2 != r1 {
+		t.Fatal("stopped record was not recycled")
+	}
+	fired := 0
+	r2.fn = func() { fired++ }
+	e.Step()
+	if fired != 1 || e.Now() != 20 {
+		t.Fatalf("recycled record misfired: fired=%d now=%d", fired, e.Now())
+	}
+	e.Stop(r2)
+}
+
+func TestEngineRunUntilSkipsStopped(t *testing.T) {
+	var e Engine
+	r := e.Every(10, 10, func() {})
+	e.Stop(r)
+	late := false
+	e.At(50, func() { late = true })
+	e.RunUntil(30)
+	if late {
+		t.Fatal("RunUntil(30) ran an event scheduled at 50")
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
 func TestResourceUncontended(t *testing.T) {
 	var r Resource
 	if start := r.Acquire(100, 10); start != 100 {

@@ -29,38 +29,58 @@ const maxIntervals = 4096
 // Acquire requests the resource at time now for hold cycles and returns the
 // service start time (≥ now): the beginning of the earliest gap of length
 // hold at or after now.
+//
+// Placement and reservation are fused into one pass: the gap search already
+// establishes the insertion index, and the binary search is hand-rolled
+// because this is the hottest loop in a full simulation (every cache miss
+// crosses several Resources) — sort.Search's callback indirection is
+// measurable here.
 func (r *Resource) Acquire(now, hold Time) (start Time) {
 	r.acquires++
 	r.busy += hold
-	start = r.place(now, hold)
+	n := len(r.iv)
+	if n == 0 || now >= r.iv[n-1].e {
+		// Fast path: arrival at or after the last reservation — service is
+		// immediate and the reservation extends or follows the calendar tail.
+		if hold > 0 {
+			if n > 0 && r.iv[n-1].e == now {
+				r.iv[n-1].e = now + hold
+			} else {
+				r.iv = append(r.iv, interval{now, now + hold})
+			}
+		}
+		return now
+	}
+	// First interval ending after now.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.iv[mid].e > now {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Walk forward to the earliest gap of length hold. On exit every interval
+	// below i ends at or before start, and interval i (if any) begins at or
+	// after start+hold, so i is also the insertion index.
+	start = now
+	i := lo
+	for ; i < n; i++ {
+		if r.iv[i].s >= start+hold {
+			break
+		}
+		if r.iv[i].e > start {
+			start = r.iv[i].e
+		}
+	}
 	r.waited += start - now
-	if hold > 0 {
-		r.reserve(start, start+hold)
+	if hold == 0 {
+		return start
 	}
-	return start
-}
-
-// place finds the earliest gap of length hold at or after now.
-func (r *Resource) place(now, hold Time) Time {
-	cand := now
-	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e > now })
-	for ; i < len(r.iv); i++ {
-		if r.iv[i].s >= cand+hold {
-			break // the gap before this interval fits
-		}
-		if r.iv[i].e > cand {
-			cand = r.iv[i].e
-		}
-	}
-	return cand
-}
-
-// reserve inserts the busy interval [s, e), merging with abutting
-// neighbours. place guarantees [s, e) overlaps no existing interval.
-func (r *Resource) reserve(s, e Time) {
-	i := sort.Search(len(r.iv), func(i int) bool { return r.iv[i].e > s })
-	prevAbuts := i > 0 && r.iv[i-1].e == s
-	nextAbuts := i < len(r.iv) && r.iv[i].s == e
+	e := start + hold
+	prevAbuts := i > 0 && r.iv[i-1].e == start
+	nextAbuts := i < n && r.iv[i].s == e
 	switch {
 	case prevAbuts && nextAbuts:
 		r.iv[i-1].e = r.iv[i].e
@@ -68,17 +88,18 @@ func (r *Resource) reserve(s, e Time) {
 	case prevAbuts:
 		r.iv[i-1].e = e
 	case nextAbuts:
-		r.iv[i].s = s
+		r.iv[i].s = start
 	default:
 		r.iv = append(r.iv, interval{})
 		copy(r.iv[i+1:], r.iv[i:])
-		r.iv[i] = interval{s, e}
+		r.iv[i] = interval{start, e}
 	}
 	if len(r.iv) > maxIntervals {
 		half := len(r.iv) / 2
 		r.iv[half-1] = interval{r.iv[0].s, r.iv[half-1].e}
 		r.iv = r.iv[half-1:]
 	}
+	return start
 }
 
 // Block marks the resource busy over [from, to), merging with and absorbing

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Status is the result of a Thread.Step call.
 type Status uint8
@@ -22,7 +19,8 @@ const (
 // Implementations advance their clock in Step as they consume simulated work.
 type Thread interface {
 	// ID returns a unique, stable identifier (also the tie-breaker for
-	// deterministic scheduling).
+	// deterministic scheduling). IDs should be small non-negative integers:
+	// the scheduler indexes a dense table with them.
 	ID() int
 	// Clock returns the thread's local time.
 	Clock() Time
@@ -37,9 +35,14 @@ type Thread interface {
 // runnable thread with the smallest local clock (ties broken by ID). Because
 // global time never moves backwards across steps, contended Resources are
 // acquired in nondecreasing time order.
+//
+// The runnable set is an inlined min-heap over (clock, id) with both keys
+// cached in the entry — refreshing the cached clock once per step avoids two
+// interface calls per heap comparison — and the ID lookup table is a dense
+// slice, since thread IDs are small integers.
 type Scheduler struct {
-	h      threadHeap
-	byID   map[int]*schedEntry
+	h      []*schedEntry
+	byID   []*schedEntry // dense: thread ID -> entry, nil when unregistered
 	parked int
 	done   int
 	total  int
@@ -47,66 +50,51 @@ type Scheduler struct {
 
 type schedEntry struct {
 	t      Thread
-	idx    int // heap index; -1 when not in heap
+	clock  Time // cached t.Clock(), refreshed when the thread moves
+	id     int  // cached t.ID()
+	idx    int  // heap index; -1 when not in heap
 	parked bool
 	fini   bool
 }
 
-type threadHeap []*schedEntry
-
-func (h threadHeap) Len() int { return len(h) }
-func (h threadHeap) Less(i, j int) bool {
-	ci, cj := h[i].t.Clock(), h[j].t.Clock()
-	if ci != cj {
-		return ci < cj
-	}
-	return h[i].t.ID() < h[j].t.ID()
-}
-func (h threadHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
-}
-func (h *threadHeap) Push(x any) {
-	e := x.(*schedEntry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *threadHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
 // NewScheduler returns an empty scheduler.
 func NewScheduler() *Scheduler {
-	return &Scheduler{byID: make(map[int]*schedEntry)}
+	return &Scheduler{}
 }
 
 // Add registers a thread. Adding two threads with the same ID panics.
 func (s *Scheduler) Add(t Thread) {
-	if _, dup := s.byID[t.ID()]; dup {
-		panic(fmt.Sprintf("sim: duplicate thread id %d", t.ID()))
+	id := t.ID()
+	if id < 0 {
+		panic(fmt.Sprintf("sim: negative thread id %d", id))
 	}
-	e := &schedEntry{t: t, idx: -1}
-	s.byID[t.ID()] = e
-	heap.Push(&s.h, e)
+	for id >= len(s.byID) {
+		s.byID = append(s.byID, nil)
+	}
+	if s.byID[id] != nil {
+		panic(fmt.Sprintf("sim: duplicate thread id %d", id))
+	}
+	e := &schedEntry{t: t, clock: t.Clock(), id: id, idx: -1}
+	s.byID[id] = e
+	s.push(e)
 	s.total++
 }
 
 // Unpark releases a parked thread, resuming it at time ≥ t. Unparking a
 // thread that is not parked panics (it would indicate a protocol bug).
 func (s *Scheduler) Unpark(id int, t Time) {
-	e, ok := s.byID[id]
-	if !ok || !e.parked {
+	var e *schedEntry
+	if id >= 0 && id < len(s.byID) {
+		e = s.byID[id]
+	}
+	if e == nil || !e.parked {
 		panic(fmt.Sprintf("sim: Unpark of non-parked thread %d", id))
 	}
 	e.parked = false
 	s.parked--
 	e.t.Resume(t)
-	heap.Push(&s.h, e)
+	e.clock = e.t.Clock()
+	s.push(e)
 }
 
 // Running reports how many threads are neither parked nor done.
@@ -124,13 +112,14 @@ func (s *Scheduler) Step() bool {
 	e := s.h[0]
 	switch e.t.Step() {
 	case Runnable:
-		heap.Fix(&s.h, e.idx)
+		e.clock = e.t.Clock()
+		s.siftDown(0)
 	case Parked:
-		heap.Remove(&s.h, e.idx)
+		s.remove(0)
 		e.parked = true
 		s.parked++
 	case Done:
-		heap.Remove(&s.h, e.idx)
+		s.remove(0)
 		e.fini = true
 		s.done++
 	}
@@ -147,4 +136,68 @@ func (s *Scheduler) Run() error {
 		return fmt.Errorf("sim: deadlock: %d of %d threads parked with no runnable thread", s.parked, s.total)
 	}
 	return nil
+}
+
+// --- inlined binary min-heap over (clock, id) ---
+
+func entryLess(a, b *schedEntry) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.id < b.id
+}
+
+func (s *Scheduler) push(e *schedEntry) {
+	e.idx = len(s.h)
+	s.h = append(s.h, e)
+	s.siftUp(e.idx)
+}
+
+// remove takes the entry at heap index i out of the heap.
+func (s *Scheduler) remove(i int) {
+	n := len(s.h) - 1
+	e := s.h[i]
+	if i != n {
+		s.h[i] = s.h[n]
+		s.h[i].idx = i
+	}
+	s.h[n] = nil
+	s.h = s.h[:n]
+	if i < n {
+		s.siftDown(i)
+		s.siftUp(i)
+	}
+	e.idx = -1
+}
+
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(s.h[i], s.h[parent]) {
+			break
+		}
+		s.h[i], s.h[parent] = s.h[parent], s.h[i]
+		s.h[i].idx, s.h[parent].idx = i, parent
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && entryLess(s.h[r], s.h[l]) {
+			min = r
+		}
+		if !entryLess(s.h[min], s.h[i]) {
+			return
+		}
+		s.h[i], s.h[min] = s.h[min], s.h[i]
+		s.h[i].idx, s.h[min].idx = i, min
+		i = min
+	}
 }

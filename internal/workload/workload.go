@@ -104,17 +104,40 @@ func MustNew(spec Spec) App {
 
 type stopGen struct{}
 
+// batchOps is how many ops cross the generator coroutine boundary at once.
+// iter.Pull costs a goroutine switch per pull; batching amortizes it to a
+// switch per batchOps ops, which takes the stream plumbing out of the
+// simulator's profile.
+const batchOps = 256
+
 type pullStream struct {
-	next func() (cpu.Op, bool)
+	buf  []cpu.Op
+	i    int
+	next func() ([]cpu.Op, bool)
 }
 
-func (p *pullStream) Next() (cpu.Op, bool) { return p.next() }
+func (p *pullStream) Next() (cpu.Op, bool) {
+	if p.i >= len(p.buf) {
+		buf, ok := p.next()
+		if !ok {
+			return cpu.Op{}, false
+		}
+		p.buf, p.i = buf, 0
+	}
+	op := p.buf[p.i]
+	p.i++
+	return op, true
+}
 
 // newStream converts a generator function into a lazily-pulled cpu.Stream.
 // The generator writes ops through the emitter; if the consumer abandons the
 // stream, emission panics internally with stopGen and unwinds cleanly.
+//
+// The same batch buffer is yielded every time: the generator only resumes
+// when the consumer pulls again, i.e. after the previous batch is fully
+// drained, so refilling in place is safe.
 func newStream(gen func(e *E)) cpu.Stream {
-	seq := iter.Seq[cpu.Op](func(yield func(cpu.Op) bool) {
+	seq := iter.Seq[[]cpu.Op](func(yield func([]cpu.Op) bool) {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(stopGen); !ok {
@@ -122,7 +145,11 @@ func newStream(gen func(e *E)) cpu.Stream {
 				}
 			}
 		}()
-		gen(&E{yield: yield})
+		e := &E{yield: yield, buf: make([]cpu.Op, 0, batchOps)}
+		gen(e)
+		if len(e.buf) > 0 {
+			yield(e.buf)
+		}
 	})
 	next, _ := iter.Pull(seq)
 	return &pullStream{next: next}
@@ -130,12 +157,17 @@ func newStream(gen func(e *E)) cpu.Stream {
 
 // E emits operations from a workload generator.
 type E struct {
-	yield func(cpu.Op) bool
+	yield func([]cpu.Op) bool
+	buf   []cpu.Op
 }
 
 func (e *E) emit(op cpu.Op) {
-	if !e.yield(op) {
-		panic(stopGen{})
+	e.buf = append(e.buf, op)
+	if len(e.buf) == batchOps {
+		if !e.yield(e.buf) {
+			panic(stopGen{})
+		}
+		e.buf = e.buf[:0]
 	}
 }
 

@@ -1,0 +1,76 @@
+package pimdsm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Sweep executes batches of independent simulations on a bounded worker pool.
+// Every figure in the paper is built from such a batch: the runs share no
+// state, each is internally deterministic, and only the slowest run gates the
+// wall-clock time, so the natural shape is a fixed set of workers pulling
+// configurations from a queue.
+//
+// The zero value uses one worker per CPU. A Sweep may be reused and is safe
+// for concurrent use; each RunMany call gets its own pool.
+type Sweep struct {
+	// Workers bounds the number of simulations in flight (and the number of
+	// goroutines created — workers pull jobs, jobs do not spawn goroutines).
+	// Zero or negative means runtime.NumCPU().
+	Workers int
+}
+
+// runSim is stubbed by tests to observe pool behavior.
+var runSim = Run
+
+// RunMany runs every configuration and returns the results in input order.
+// The assignment of runs to workers does not affect the results: each run is
+// deterministic given its Config, so results[i] depends only on cfgs[i].
+//
+// If any run fails, RunMany returns the error of the failing configuration
+// with the smallest index (again independent of scheduling); the remaining
+// runs still complete.
+func (s Sweep) RunMany(cfgs []Config) ([]*Result, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if workers <= 1 {
+		for i := range cfgs {
+			results[i], errs[i] = runSim(cfgs[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = runSim(cfgs[i])
+				}
+			}()
+		}
+		for i := range cfgs {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// RunMany runs every configuration on a default Sweep (one worker per CPU).
+func RunMany(cfgs []Config) ([]*Result, error) {
+	return Sweep{}.RunMany(cfgs)
+}

@@ -1,0 +1,109 @@
+package pimdsm
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepDeterminism runs the same configurations several times through a
+// concurrent Sweep and compares every Result — down to the per-thread stats
+// and phase maps — against a serial reference run. Parallel regeneration is
+// only sound if scheduling can never leak into the results.
+func TestSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism check")
+	}
+	var cfgs []Config
+	for _, arch := range []Arch{NUMA, COMA, AGG} {
+		cfgs = append(cfgs, Config{
+			Arch: arch, App: AppSpec{Name: "fft", Scale: 0.05},
+			Threads: 8, Pressure: 0.75, DRatio: 2,
+		})
+	}
+	// Duplicate each config so identical runs execute concurrently against
+	// each other, not just against the serial reference.
+	cfgs = append(cfgs, cfgs...)
+
+	ref := make([]*Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("serial run %d: %v", i, err)
+		}
+		ref[i] = r
+	}
+	for trial := 0; trial < 3; trial++ {
+		got, err := Sweep{Workers: 2 * runtime.NumCPU()}.RunMany(cfgs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], ref[i]) {
+				t.Fatalf("trial %d: concurrent result %d differs from serial reference", trial, i)
+			}
+		}
+	}
+}
+
+// TestSweepBoundsWorkers checks that RunMany never has more simulations in
+// flight than Workers allows (the former implementation spawned a goroutine
+// per config before acquiring its semaphore slot, so a huge sweep created a
+// huge number of goroutines).
+func TestSweepBoundsWorkers(t *testing.T) {
+	const limit = 2
+	var inFlight, peak atomic.Int64
+	block := make(chan struct{})
+	orig := runSim
+	runSim = func(cfg Config) (*Result, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-block // hold the worker so overlap, if any, is observable
+		inFlight.Add(-1)
+		return &Result{}, nil
+	}
+	defer func() { runSim = orig }()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Sweep{Workers: limit}.RunMany(make([]Config, 16))
+		done <- err
+	}()
+	close(block)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrent runs = %d, want <= %d", p, limit)
+	}
+}
+
+// TestSweepErrorIsDeterministic checks that with several failing configs the
+// reported error is the lowest-index one regardless of scheduling.
+func TestSweepErrorIsDeterministic(t *testing.T) {
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = Config{
+			Arch: AGG, App: AppSpec{Name: "radix", Scale: 0.02},
+			Threads: 4, Pressure: 0.25, DRatio: 4,
+		}
+	}
+	cfgs[3].App.Name = "no-such-app-3"
+	cfgs[6].App.Name = "no-such-app-6"
+	for trial := 0; trial < 4; trial++ {
+		_, err := Sweep{Workers: 4}.RunMany(cfgs)
+		if err == nil {
+			t.Fatal("RunMany succeeded with invalid configs")
+		}
+		if !strings.Contains(err.Error(), "no-such-app-3") {
+			t.Fatalf("trial %d: error %q does not name the lowest failing config", trial, err)
+		}
+	}
+}
