@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race race-hot vet bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,17 @@ test: vet
 race:
 	$(GO) test -race ./...
 
+# race-hot covers the packages with real concurrency (the sweep pool sits in
+# the root package; sim and hashmap are what the workers hammer).
+race-hot:
+	$(GO) test -race ./internal/sim ./internal/hashmap .
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
-ci: build test
+# bench-smoke runs each benchmark once — compile + one iteration, a CI-speed
+# check that the benchmarks still work (including the 0-alloc tracing pin).
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
+
+ci: build vet test race-hot

@@ -6,8 +6,16 @@
 //
 //	aggsim -arch agg|numa|coma -app fft -pressure 0.75 -dratio 1
 //	       [-threads 32] [-scale 1.0] [-dnodes n]
+//	       [-trace f.json] [-trace-bin f.bin] [-trace-buf n]
+//	       [-metrics-out f.json] [-progress]
 //	       [-cpuprofile f] [-memprofile f]
 //
+// -trace records the run's protocol events and writes them as Chrome
+// trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev);
+// -trace-bin writes the compact binary form instead (see `pimdsm trace`).
+// Tracing never changes simulation results.
+// -metrics-out writes the run's counters, gauges and latency histograms as
+// JSON. -progress prints a phase-by-phase status line to stderr.
 // -cpuprofile / -memprofile write pprof profiles covering the run (see
 // README.md, "Profiling").
 package main
@@ -35,6 +43,11 @@ func realMain() int {
 	dratio := flag.Int("dratio", 1, "AGG P:D ratio denominator (1, 2 or 4)")
 	dnodes := flag.Int("dnodes", 0, "explicit AGG D-node count (overrides -dratio)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON to file")
+	traceBin := flag.String("trace-bin", "", "write compact binary trace to file")
+	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events (rounded to a power of two)")
+	metricsOut := flag.String("metrics-out", "", "write metrics registry JSON to file")
+	progress := flag.Bool("progress", false, "print phase progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
@@ -54,8 +67,27 @@ func realMain() int {
 		DRatio:   *dratio,
 		DNodes:   *dnodes,
 	}
+	var tr *pimdsm.Trace
+	if *tracePath != "" || *traceBin != "" {
+		tr = pimdsm.NewTrace(*traceBuf)
+		cfg.Trace = tr
+	}
+	var reg *pimdsm.Metrics
+	if *metricsOut != "" {
+		reg = pimdsm.NewMetrics()
+		cfg.Metrics = reg
+	}
+	if *progress {
+		cfg.PhaseProgress = func(phase int, at pimdsm.Time) {
+			fmt.Fprintf(os.Stderr, "phase %d done at cycle %d\n", phase, at)
+		}
+	}
 	res, err := pimdsm.Run(cfg)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := writeObservers(tr, reg, *tracePath, *traceBin, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -101,6 +133,40 @@ func realMain() int {
 	fmt.Printf("mesh: %d messages, %.1f MB, avg queueing %d cycles\n",
 		net.Messages, float64(net.Bytes)/(1<<20), uint64(net.Queued)/max64(net.Messages, 1))
 	return 0
+}
+
+// writeObservers flushes the trace and metrics outputs that were requested.
+func writeObservers(tr *pimdsm.Trace, reg *pimdsm.Metrics, tracePath, traceBin, metricsOut string) error {
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		if err := write(tracePath, func(f *os.File) error { return pimdsm.WriteChromeTrace(f, tr) }); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: ring full, oldest %d of %d events dropped (raise -trace-buf)\n", d, tr.Total())
+		}
+	}
+	if traceBin != "" {
+		if err := write(traceBin, func(f *os.File) error { return pimdsm.WriteBinaryTrace(f, tr) }); err != nil {
+			return fmt.Errorf("trace-bin: %w", err)
+		}
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, func(f *os.File) error { return reg.WriteJSON(f) }); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
 }
 
 // startProfiles starts the requested pprof profiles and returns a function

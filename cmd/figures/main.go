@@ -5,10 +5,15 @@
 //
 //	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b]
 //	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick]
-//	        [-parallel n] [-cpuprofile f] [-memprofile f]
+//	        [-parallel n] [-progress] [-trace f.json] [-trace-buf n]
+//	        [-metrics-out f.json] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks problem sizes and the Figure 9 grid for a fast smoke pass.
 // -parallel bounds the simulations in flight (default: one per CPU).
+// -progress renders a live per-batch status line on stderr.
+// -trace records every run's protocol events into one shared ring and writes
+// Chrome trace_event JSON; -metrics-out accumulates every run's counters.
+// Either forces the runs serial (same results, just slower).
 // -cpuprofile / -memprofile write pprof profiles covering the whole
 // regeneration (see README.md, "Profiling").
 package main
@@ -36,6 +41,10 @@ func realMain() int {
 	apps := flag.String("apps", "", "comma-separated app subset")
 	quick := flag.Bool("quick", false, "small scale and coarse grids")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per CPU)")
+	progress := flag.Bool("progress", false, "render a live status line per batch on stderr")
+	tracePath := flag.String("trace", "", "write Chrome trace_event JSON covering every run to file")
+	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events (rounded to a power of two)")
+	metricsOut := flag.String("metrics-out", "", "write accumulated metrics registry JSON to file")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
@@ -50,6 +59,15 @@ func realMain() int {
 	opt := pimdsm.Options{Scale: *scale, Threads: *threads, Parallel: *parallel}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
+	}
+	if *progress {
+		opt.Progress = pimdsm.StatusLine(os.Stderr, "runs")
+	}
+	if *tracePath != "" {
+		opt.Trace = pimdsm.NewTrace(*traceBuf)
+	}
+	if *metricsOut != "" {
+		opt.Metrics = pimdsm.NewMetrics()
 	}
 	ps, ds := []int{2, 4, 8, 16, 32}, []int{2, 4, 8, 16, 32}
 	combos := [][2]int{{2, 2}, {4, 4}, {8, 8}, {16, 16}, {28, 4}}
@@ -131,7 +149,45 @@ func realMain() int {
 		fmt.Print(pimdsm.FormatFigure10b(pts))
 		return nil
 	})
+
+	if code == 0 {
+		if err := writeObservers(opt, *tracePath, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
 	return code
+}
+
+// writeObservers flushes the shared trace / metrics outputs, if requested.
+func writeObservers(opt pimdsm.Options, tracePath, metricsOut string) error {
+	write := func(path string, fn func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if tracePath != "" {
+		err := write(tracePath, func(f *os.File) error { return pimdsm.WriteChromeTrace(f, opt.Trace) })
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if d := opt.Trace.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: ring full, oldest %d of %d events dropped (raise -trace-buf)\n",
+				d, opt.Trace.Total())
+		}
+	}
+	if metricsOut != "" {
+		if err := write(metricsOut, func(f *os.File) error { return opt.Metrics.WriteJSON(f) }); err != nil {
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+	}
+	return nil
 }
 
 // startProfiles starts the requested pprof profiles and returns a function

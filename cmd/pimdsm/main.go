@@ -1,0 +1,181 @@
+// Command pimdsm is the simulator's introspection toolbox. Its first (and so
+// far only) command group works with compact binary traces recorded by
+// `aggsim -trace-bin`:
+//
+//	pimdsm trace dump f.bin [-kind read] [-node 3] [-limit 100]
+//	pimdsm trace convert f.bin f.json
+//
+// `dump` pretty-prints events in sim-time order with per-kind totals;
+// `convert` rewrites a binary trace as Chrome trace_event JSON (loadable in
+// chrome://tracing or https://ui.perfetto.dev).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimdsm/internal/obs"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+func realMain(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "trace":
+		return traceCmd(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
+		usage()
+		return 2
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pimdsm trace dump <f.bin> [-kind k] [-node n] [-limit n]")
+	fmt.Fprintln(os.Stderr, "       pimdsm trace convert <f.bin> <f.json>")
+}
+
+func traceCmd(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	switch args[0] {
+	case "dump":
+		return traceDump(args[1:])
+	case "convert":
+		return traceConvert(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "pimdsm trace: unknown subcommand %q\n", args[0])
+		usage()
+		return 2
+	}
+}
+
+// readTrace loads a binary trace file.
+func readTrace(path string) ([]obs.Event, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return obs.ReadBinary(f)
+}
+
+func traceDump(args []string) int {
+	fs := flag.NewFlagSet("trace dump", flag.ContinueOnError)
+	kind := fs.String("kind", "", "only events of this kind (read, write, inval, ...)")
+	node := fs.Int("node", -2, "only events at this node ID")
+	limit := fs.Int("limit", 0, "print at most this many events (0 = all)")
+	// Accept the file before or after the flags.
+	var path string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "pimdsm trace dump: need a trace file")
+		return 2
+	}
+	events, total, err := readTrace(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	var wantKind obs.EventKind
+	if *kind != "" {
+		k, ok := kindByName(*kind)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pimdsm trace dump: unknown kind %q\n", *kind)
+			return 2
+		}
+		wantKind = k
+	}
+
+	counts := make([]int, obs.NumEventKinds)
+	printed := 0
+	for _, e := range events {
+		counts[e.Kind]++
+		if *kind != "" && e.Kind != wantKind {
+			continue
+		}
+		if *node != -2 && e.Node != int32(*node) {
+			continue
+		}
+		if *limit > 0 && printed >= *limit {
+			continue
+		}
+		printed++
+		fmt.Printf("%12d %-10s node=%-4d addr=%#-12x", e.At, e.Kind, e.Node, e.Addr)
+		if e.Kind.Span() {
+			fmt.Printf(" dur=%-8d", e.Dur)
+		}
+		if e.Arg != 0 {
+			fmt.Printf(" arg=%d", e.Arg)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\n%d events held", len(events))
+	if dropped := total - uint64(len(events)); dropped > 0 {
+		fmt.Printf(" (%d more emitted but dropped by the ring)", dropped)
+	}
+	fmt.Println(", by kind:")
+	for k := obs.EventKind(0); k < obs.NumEventKinds; k++ {
+		if counts[k] > 0 {
+			fmt.Printf("  %-10s %d\n", k, counts[k])
+		}
+	}
+	return 0
+}
+
+func traceConvert(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pimdsm trace convert <f.bin> <f.json>")
+		return 2
+	}
+	events, _, err := readTrace(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	out, err := os.Create(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := obs.WriteChromeJSONEvents(out, events); err != nil {
+		out.Close()
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := out.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%d events -> %s\n", len(events), args[1])
+	return 0
+}
+
+// kindByName resolves an event-kind display name.
+func kindByName(name string) (obs.EventKind, bool) {
+	for k := obs.EventKind(0); k < obs.NumEventKinds; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -24,10 +24,37 @@ type Options struct {
 	// one per CPU). Parallelism never changes results: each run is
 	// deterministic given its Config.
 	Parallel int
+
+	// Trace, when non-nil, receives every run's protocol events. Metrics,
+	// when non-nil, accumulates every run's counters. Both observers are
+	// single-writer, so setting either forces the runs serial (results are
+	// unchanged — parallelism never affects them — only slower).
+	Trace   *Trace
+	Metrics *Metrics
+	// Progress, when non-nil, is called after each run of a batch completes
+	// (see Sweep.Progress).
+	Progress func(done, total, i int)
 }
 
 // sweep returns the worker pool implied by the options.
-func (o Options) sweep() Sweep { return Sweep{Workers: o.Parallel} }
+func (o Options) sweep() Sweep {
+	workers := o.Parallel
+	if o.Trace != nil || o.Metrics != nil {
+		workers = 1
+	}
+	return Sweep{Workers: workers, Progress: o.Progress}
+}
+
+// runMany stamps the options' observers into each config and runs the batch.
+func (o Options) runMany(cfgs []Config) ([]*Result, error) {
+	if o.Trace != nil || o.Metrics != nil {
+		for i := range cfgs {
+			cfgs[i].Trace = o.Trace
+			cfgs[i].Metrics = o.Metrics
+		}
+	}
+	return o.sweep().RunMany(cfgs)
+}
 
 func (o Options) withDefaults() Options {
 	if o.Scale == 0 {
@@ -109,7 +136,7 @@ func Figure6(opt Options) ([]AppBars, error) {
 		for i := range cs {
 			cfgs[i] = cs[i].cfg
 		}
-		results, err := opt.sweep().RunMany(cfgs)
+		results, err := opt.runMany(cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +275,7 @@ func Figure8(opt Options) ([]Fig8Bar, error) {
 			meta = append(meta, Fig8Bar{App: app, Pressure: int(pr*100 + 0.5)})
 		}
 	}
-	results, err := opt.sweep().RunMany(cfgs)
+	results, err := opt.runMany(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +357,7 @@ func Figure9(opt Options, ps, ds []int) ([]Fig9App, error) {
 				cells = append(cells, Fig9Cell{P: p, D: d})
 			}
 		}
-		results, err := opt.sweep().RunMany(cfgs)
+		results, err := opt.runMany(cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -451,7 +478,7 @@ func Figure10b(opt Options, combos [][2]int) ([]Fig10bPoint, error) {
 			})
 		}
 	}
-	results, err := opt.sweep().RunMany(cfgs)
+	results, err := opt.runMany(cfgs)
 	if err != nil {
 		return nil, err
 	}

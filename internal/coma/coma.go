@@ -16,6 +16,7 @@ import (
 	"pimdsm/internal/cache"
 	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/stats"
@@ -100,6 +101,7 @@ type Machine struct {
 
 	allNodes []int
 	st       stats.Machine
+	trace    *obs.Trace
 }
 
 // New builds a COMA machine.
@@ -120,8 +122,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg: cfg,
-		net: net,
+		cfg:   cfg,
+		net:   net,
+		trace: obs.Nop(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.am = make([]*cache.LocalMemory, cfg.Nodes)
@@ -164,6 +167,15 @@ func (m *Machine) Stats() *stats.Machine { return &m.st }
 
 // Mesh returns the interconnect.
 func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+// SetTrace routes protocol trace events to t; nil disables.
+func (m *Machine) SetTrace(t *obs.Trace) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	m.trace = t
+	m.net.SetTrace(t)
+}
 
 // AMOf exposes a node's attraction memory for tests.
 func (m *Machine) AMOf(n int) *cache.LocalMemory { return m.am[n] }
@@ -211,6 +223,13 @@ func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time
 		m.st.Write(class, done-now)
 	} else {
 		m.st.Read(class, done-now)
+	}
+	if m.trace.On() {
+		k := obs.EvRead
+		if write {
+			k = obs.EvWrite
+		}
+		m.trace.Emit(k, now, done-now, int32(p), m.alignLine(addr), uint64(class))
 	}
 	return done, class
 }
@@ -279,6 +298,9 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
 		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
 		m.st.DiskFaults++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvDiskFault, ds, 0, int32(home), line, 0)
+		}
 		e.state = dirShared
 		e.master = int32(p)
 		e.sharers.Add(p)
@@ -333,10 +355,16 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
 		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
 		m.st.DiskFaults++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvDiskFault, ds, 0, int32(home), line, 0)
+		}
 	case upgrade:
 		// p holds a readable (non-master) copy; ownership grant only.
 		done = m.net.Send(replyT, home, p, ctrl)
 		m.st.Upgrades++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvUpgrade, replyT, 0, int32(p), line, 0)
+		}
 	default:
 		q := int(e.master)
 		if q == p {
@@ -359,6 +387,9 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		m.am[q].Invalidate(line)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, iv, 0, int32(q), line, 0)
+		}
 		if ack := m.net.Send(iv, q, p, ctrl); ack > done {
 			done = ack
 		}
@@ -443,6 +474,9 @@ func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
 			e.sharers.Add(target)
 			m.st.Injections++
 			m.st.InjectionHops += uint64(hop + 1)
+			if m.trace.On() {
+				m.trace.Emit(obs.EvInject, hs, 0, int32(target), line, uint64(hop+1))
+			}
 			return
 		}
 		// This set is all masters: pass the line on.
@@ -460,13 +494,19 @@ func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
 	hs := m.hproc[home].Acquire(arrive, m.cfg.Costs.WBOcc)
 	m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
 	for _, q := range e.sharers.Targets(nil, m.allNodes, from) {
-		m.net.Send(hs, home, q, m.net.ControlBytes())
+		iv := m.net.Send(hs, home, q, m.net.ControlBytes())
 		m.am[q].Invalidate(line)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, iv, 0, int32(q), line, 0)
+		}
 	}
 	e.state = dirSwapped
 	e.master = -1
 	e.sharers.Clear()
 	m.st.Overflows++
+	if m.trace.On() {
+		m.trace.Emit(obs.EvOverflow, hs, 0, int32(home), line, 0)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"pimdsm/internal/cache"
 	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/stats"
@@ -107,7 +108,8 @@ type Machine struct {
 	nextHome int
 	allP     []int
 
-	st stats.Machine
+	st    stats.Machine
+	trace *obs.Trace
 }
 
 // New builds an AGG machine.
@@ -128,8 +130,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg: cfg,
-		net: net,
+		cfg:   cfg,
+		net:   net,
+		trace: obs.Nop(),
 	}
 	m.pMesh, m.dMesh = Placement(total, cfg.PNodes, cfg.DNodes)
 	m.caches = make([]*proto.CacheSet, cfg.PNodes)
@@ -216,6 +219,19 @@ func (m *Machine) Stats() *stats.Machine { return &m.st }
 // Mesh returns the interconnect (for traffic statistics).
 func (m *Machine) Mesh() *mesh.Mesh { return m.net }
 
+// SetTrace routes protocol trace events to t (nil disables). P-node events
+// carry node IDs 0..PNodes-1; D-node events carry PNodes+d.
+func (m *Machine) SetTrace(t *obs.Trace) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	m.trace = t
+	m.net.SetTrace(t)
+}
+
+// dnode is the trace node ID of D-node d (P-nodes occupy 0..PNodes-1).
+func (m *Machine) dnode(d int) int32 { return int32(m.cfg.PNodes + d) }
+
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
@@ -267,6 +283,13 @@ func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time
 		m.st.Write(class, done-now)
 	} else {
 		m.st.Read(class, done-now)
+	}
+	if m.trace.On() {
+		k := obs.EvRead
+		if write {
+			k = obs.EvWrite
+		}
+		m.trace.Emit(k, now, done-now, int32(p), m.alignLine(addr), uint64(class))
 	}
 	return done, class
 }
@@ -403,6 +426,9 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		if e.OnDisk {
 			t = m.disk[d].Acquire(t, m.cfg.Timing.DiskLat) + m.cfg.Timing.DiskLat
 			m.st.DiskFaults++
+			if m.trace.On() {
+				m.trace.Emit(obs.EvDiskFault, hs, 0, m.dnode(d), line, 0)
+			}
 		}
 		var stored bool
 		t, stored = m.ensureSlot(t, d, e)
@@ -454,6 +480,9 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		m.pmem[owner].Invalidate(line)
 		m.caches[owner].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, fwd, 0, int32(owner), line, 0)
+		}
 		e.Master = int32(p)
 		class = proto.Lat3Hop
 
@@ -469,6 +498,9 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		case upgrade:
 			done = m.net.Send(replyT, m.dMesh[d], m.pMesh[p], ctrl)
 			m.st.Upgrades++
+			if m.trace.On() {
+				m.trace.Emit(obs.EvUpgrade, replyT, 0, int32(p), line, 0)
+			}
 			class = proto.Lat2Hop
 		case e.HasCopy():
 			m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
@@ -494,6 +526,9 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 			m.pmem[q].Invalidate(line)
 			m.caches[q].InvalidateMemLine(line)
 			m.st.Invalidations++
+			if m.trace.On() {
+				m.trace.Emit(obs.EvInval, iv, 0, int32(q), line, 0)
+			}
 			ack := m.net.Send(iv, m.pMesh[q], m.pMesh[p], ctrl)
 			if ack > done {
 				done = ack
@@ -516,6 +551,9 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		if e.OnDisk {
 			t = m.disk[d].Acquire(t, m.cfg.Timing.DiskLat) + m.cfg.Timing.DiskLat
 			m.st.DiskFaults++
+			if m.trace.On() {
+				m.trace.Emit(obs.EvDiskFault, hs, 0, m.dnode(d), line, 0)
+			}
 			// The data now travels to the writer; the home keeps no slot.
 			e.OnDisk = false
 		}
@@ -591,6 +629,9 @@ func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 	arrive := m.net.Send(t, m.pMesh[p], m.dMesh[d], m.net.DataBytes(m.cfg.LineBytes))
 	hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.WBOcc)
 	m.st.WriteBacks++
+	if m.trace.On() {
+		m.trace.Emit(obs.EvWriteBack, t, 0, int32(p), line, 0)
+	}
 
 	switch st {
 	case cache.Dirty:
@@ -644,6 +685,11 @@ func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 func (m *Machine) ensureSlot(t sim.Time, d int, e *DirEntry) (sim.Time, bool) {
 	dm := m.dmem[d]
 	if res, _ := dm.EnsureSlot(e); res != AllocFailed {
+		// The FreeList drain toward the pageout threshold is the curve the
+		// paper's crisis analysis cares about; sample it per allocation.
+		if m.trace.On() {
+			m.trace.Emit(obs.EvOcc, t, 0, m.dnode(d), 0, uint64(dm.FreeLen()))
+		}
 		if dm.NeedPageout() {
 			m.pageout(t, d, e.Addr, true) // background refill of the FreeList
 		}
@@ -655,6 +701,9 @@ func (m *Machine) ensureSlot(t sim.Time, d int, e *DirEntry) (sim.Time, bool) {
 	// Crisis: nothing reusable. Stall on pageouts — the effect of the
 	// paper's high-priority pause interrupt.
 	m.st.CrisisPauses++
+	if m.trace.On() {
+		m.trace.Emit(obs.EvCrisis, t, 0, m.dnode(d), e.Addr, uint64(dm.FreeLen()))
+	}
 	for attempt := 0; attempt < 4; attempt++ {
 		t = m.pageout(t, d, e.Addr, true)
 		if res, _ := dm.EnsureSlot(e); res != AllocFailed {
@@ -682,6 +731,9 @@ func (m *Machine) spill(t sim.Time, d int, e *DirEntry) {
 	e.Unfetched = false
 	e.OnDisk = true
 	m.st.Overflows++
+	if m.trace.On() {
+		m.trace.Emit(obs.EvOverflow, t, 0, m.dnode(d), e.Addr, 0)
+	}
 }
 
 // pageout frees D-node memory by unmapping pages (§2.2.2): the OS walks the
@@ -718,6 +770,9 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 				m.pmem[owner].Invalidate(e.Addr)
 				m.caches[owner].InvalidateMemLine(e.Addr)
 				m.st.Recalls++
+				if m.trace.On() {
+					m.trace.Emit(obs.EvRecall, rq, 0, int32(owner), e.Addr, 0)
+				}
 			case DirShared:
 				// Recall the master copy if the home dropped its own, and
 				// invalidate every sharer.
@@ -730,6 +785,9 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 						lastArrive = back
 					}
 					m.st.Recalls++
+					if m.trace.On() {
+						m.trace.Emit(obs.EvRecall, rq, 0, int32(master), e.Addr, 0)
+					}
 				}
 				for _, q := range e.Sharers.Targets(nil, m.allP, -1) {
 					iv := m.net.Send(t, m.dMesh[d], m.pMesh[q], ctrl)
@@ -739,6 +797,9 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 					m.pmem[q].Invalidate(e.Addr)
 					m.caches[q].InvalidateMemLine(e.Addr)
 					m.st.Invalidations++
+					if m.trace.On() {
+						m.trace.Emit(obs.EvInval, iv, 0, int32(q), e.Addr, 0)
+					}
 				}
 			}
 			dm.UnlinkShared(e)
@@ -757,9 +818,15 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 		}
 		m.st.Pageouts++
 		processed++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvPageout, t, 0, m.dnode(d), page, uint64(dm.FreeLen()))
+		}
 	}
 	if t > start {
 		m.dproc[d].Block(start, t)
+	}
+	if m.trace.On() {
+		m.trace.Emit(obs.EvOcc, t, 0, m.dnode(d), 0, uint64(dm.FreeLen()))
 	}
 	return t
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"pimdsm/internal/cache"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/sim"
 )
 
@@ -52,6 +53,9 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 					lastRecall = back
 				}
 				m.st.Recalls++
+				if m.trace.On() {
+					m.trace.Emit(obs.EvRecall, rq, 0, int32(owner), e.Addr, 0)
+				}
 				// Downgrade the owner; it keeps a shared-master copy and
 				// stays the master, so the home's new copy is droppable.
 				if e.State == DirDirty {
@@ -71,6 +75,9 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 				ds := m.disk[d].Acquire(tl, m.cfg.Timing.DiskLat)
 				tl = ds + m.cfg.Timing.DiskLat
 				m.st.DiskFaults++
+				if m.trace.On() {
+					m.trace.Emit(obs.EvDiskFault, ds, 0, m.dnode(d), e.Addr, 0)
+				}
 				// Keep the faulted data if room exists; otherwise it is
 				// consumed in flight and the line stays on disk.
 				if res, _ := dm.EnsureSlot(e); res != AllocFailed {
@@ -87,6 +94,9 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 			tl = lastRecall
 		}
 		m.dproc[d].Block(hs, tl)
+		if m.trace.On() {
+			m.trace.Emit(obs.EvScan, hs, tl-hs, m.dnode(d), page, uint64(inPage))
+		}
 		// Ship this page's share of the selected records.
 		sel := selBytes * uint64(inPage) / uint64(lines)
 		pd := m.net.Send(tl, m.dMesh[d], m.pMesh[p], m.net.DataBytes(sel))

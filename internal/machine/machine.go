@@ -13,6 +13,7 @@ import (
 	"pimdsm/internal/cpu"
 	"pimdsm/internal/mesh"
 	"pimdsm/internal/numa"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/stats"
 	"pimdsm/internal/workload"
@@ -62,6 +63,18 @@ type Config struct {
 	// DMemSetAssoc switches the AGG D-memories to the §2.2.2 rejected
 	// set-associative organization (0 = the paper's fully-associative one).
 	DMemSetAssoc int
+
+	// Trace, when non-nil, receives the run's protocol events (reads, writes,
+	// invalidations, write-backs, recalls, pageouts, mesh messages, ...).
+	// Tracing is record-only: it never feeds back into simulation state, so a
+	// run's results are bit-identical with it on or off.
+	Trace *obs.Trace
+	// Metrics, when non-nil, has the run's end-of-run counters folded into it
+	// (obs.CollectMachine plus mesh traffic and execution time).
+	Metrics *obs.Registry
+	// PhaseProgress, when non-nil, is called each time the last thread
+	// crosses a phase marker — a coarse live-progress hook for long runs.
+	PhaseProgress func(phase int, at sim.Time)
 }
 
 // Result is everything a run measures. All engine-level counters are
@@ -108,6 +121,7 @@ type engine interface {
 	Stats() *stats.Machine
 	Mesh() *mesh.Mesh
 	LineBytes() uint64
+	SetTrace(*obs.Trace)
 }
 
 // roundLines rounds a byte capacity down to a whole number of assoc-way
@@ -236,6 +250,15 @@ func Run(cfg Config) (*Result, error) {
 		eng = m
 	}
 
+	tr := cfg.Trace
+	if tr == nil {
+		tr = obs.Nop()
+	}
+	eng.SetTrace(tr)
+	if tr.On() {
+		tr.Emit(obs.EvRunStart, 0, 0, -1, uint64(cfg.Threads), uint64(sz.DNodes))
+	}
+
 	streams := app.Streams(cfg.Threads)
 	sched := sim.NewScheduler()
 	sd := cpu.NewSyncDomain(sched)
@@ -259,16 +282,27 @@ func Run(cfg Config) (*Result, error) {
 	var meshSnap mesh.Stats
 	var dBusySnap, dWaitSnap sim.Time
 	crossed := make(map[int]int)
+	// Capture scalars, not cfg: the full Config is past the compiler's
+	// by-value capture limit and would be heap-boxed by the closure.
+	nThreads, phaseProgress := cfg.Threads, cfg.PhaseProgress
 	hook := func(tid, phase int, at sim.Time) {
 		crossed[phase]++
 		if at > res.PhaseEnd[phase] {
 			res.PhaseEnd[phase] = at
 		}
+		if crossed[phase] == nThreads {
+			if tr.On() {
+				tr.Emit(obs.EvPhase, at, 0, -1, uint64(phase), uint64(nThreads))
+			}
+			if phaseProgress != nil {
+				phaseProgress(phase, at)
+			}
+		}
 		if phase == workload.PhaseMeasured {
 			// Exclude warm-up initialization from this thread's numbers;
 			// the engine counters are snapshot once everyone has crossed.
 			threads[tid].ResetMeasurement()
-			if crossed[phase] == cfg.Threads {
+			if crossed[phase] == nThreads {
 				measureStart = res.PhaseEnd[phase]
 				snap = *eng.Stats()
 				meshSnap = eng.Mesh().Stats()
@@ -277,7 +311,7 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		if phase == workload.PhaseSecond && crossed[phase] == cfg.Threads && aggM != nil {
+		if phase == workload.PhaseSecond && crossed[phase] == nThreads && aggM != nil {
 			res.CensusPhase2 = aggM.CensusTotal()
 		}
 	}
@@ -310,6 +344,9 @@ func Run(cfg Config) (*Result, error) {
 			res.PhaseEnd[p] = 0
 		}
 	}
+	if cfg.Metrics != nil {
+		collectMetrics(cfg.Metrics, res)
+	}
 	if aggM != nil {
 		res.Census = aggM.CensusTotal()
 		res.DMem = aggM.DMemStatsTotal()
@@ -320,4 +357,20 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// collectMetrics folds a run's measurements into a registry: the coherence
+// counters (obs.CollectMachine), mesh traffic, and the Figure 6 breakdown.
+// Counters accumulate across runs sharing the registry; gauges hold the last
+// run's values.
+func collectMetrics(r *obs.Registry, res *Result) {
+	obs.CollectMachine(r, &res.Machine)
+	r.Counter("mesh.messages").Add(res.Mesh.Messages)
+	r.Counter("mesh.bytes").Add(res.Mesh.Bytes)
+	r.Counter("mesh.hops").Add(res.Mesh.HopsTotal)
+	r.Counter("mesh.queued_cycles").Add(uint64(res.Mesh.Queued))
+	r.Counter("runs").Inc()
+	r.Gauge("run.exec_cycles").Set(float64(res.Breakdown.Exec))
+	r.Gauge("run.mem_cycles").Set(float64(res.Breakdown.Memory))
+	r.Gauge("run.proc_cycles").Set(float64(res.Breakdown.Processor))
 }

@@ -15,6 +15,7 @@ package mesh
 import (
 	"fmt"
 
+	"pimdsm/internal/obs"
 	"pimdsm/internal/sim"
 )
 
@@ -69,6 +70,7 @@ type Mesh struct {
 	// links[node*4+dir] is the outgoing link of node in direction dir.
 	links []sim.Resource
 	stats Stats
+	trace *obs.Trace
 }
 
 // Link directions.
@@ -90,7 +92,16 @@ func New(cfg Config) (*Mesh, error) {
 	return &Mesh{
 		cfg:   cfg,
 		links: make([]sim.Resource, cfg.Width*cfg.Height*4),
+		trace: obs.Nop(),
 	}, nil
+}
+
+// SetTrace routes per-message trace events (obs.EvMsg) to t; nil disables.
+func (m *Mesh) SetTrace(t *obs.Trace) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	m.trace = t
 }
 
 // MustNew is New, panicking on error.
@@ -149,6 +160,9 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 	m.stats.Bytes += bytes
 	if src == dst {
 		m.stats.LatencySum += ser
+		if m.trace.On() {
+			m.trace.Emit(obs.EvMsg, now, ser, int32(src), uint64(dst), bytes)
+		}
 		return now + ser
 	}
 	sx, sy := m.Coord(src)
@@ -186,6 +200,9 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 	arrive := t + ser
 	m.stats.HopsTotal += uint64(hops)
 	m.stats.LatencySum += arrive - now
+	if m.trace.On() {
+		m.trace.Emit(obs.EvMsg, now, arrive-now, int32(src), uint64(dst), uint64(hops)<<32|bytes)
+	}
 	return arrive
 }
 

@@ -15,6 +15,7 @@ import (
 	"pimdsm/internal/core"
 	"pimdsm/internal/hashmap"
 	"pimdsm/internal/mesh"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/stats"
@@ -91,6 +92,7 @@ type Machine struct {
 
 	allNodes []int
 	st       stats.Machine
+	trace    *obs.Trace
 }
 
 // New builds a NUMA machine.
@@ -111,8 +113,9 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg: cfg,
-		net: net,
+		cfg:   cfg,
+		net:   net,
+		trace: obs.Nop(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.onchip = make([]*cache.SetAssoc, cfg.Nodes)
@@ -145,6 +148,15 @@ func (m *Machine) Stats() *stats.Machine { return &m.st }
 
 // Mesh returns the interconnect.
 func (m *Machine) Mesh() *mesh.Mesh { return m.net }
+
+// SetTrace routes protocol trace events to t; nil disables.
+func (m *Machine) SetTrace(t *obs.Trace) {
+	if t == nil {
+		t = obs.Nop()
+	}
+	m.trace = t
+	m.net.SetTrace(t)
+}
 
 func (m *Machine) alignLine(addr uint64) uint64 { return addr &^ (m.cfg.LineBytes - 1) }
 func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageBytes - 1) }
@@ -188,6 +200,13 @@ func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time
 		m.st.Write(class, done-now)
 	} else {
 		m.st.Read(class, done-now)
+	}
+	if m.trace.On() {
+		k := obs.EvRead
+		if write {
+			k = obs.EvWrite
+		}
+		m.trace.Emit(k, now, done-now, int32(p), m.alignLine(addr), uint64(class))
 	}
 	return done, class
 }
@@ -259,6 +278,9 @@ func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntr
 		done := m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, rq, 0, int32(q), line, 0)
+		}
 		e.owner = int32(p)
 		e.sharers.Clear()
 		m.fill(done, p, addr, true)
@@ -271,6 +293,9 @@ func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntr
 			iv := m.net.Send(now, p, q, ctrl)
 			m.caches[q].InvalidateMemLine(line)
 			m.st.Invalidations++
+			if m.trace.On() {
+				m.trace.Emit(obs.EvInval, iv, 0, int32(q), line, 0)
+			}
 			if ack := m.net.Send(iv, q, p, ctrl); ack > done {
 				done = ack
 			}
@@ -360,16 +385,25 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 		done = m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, fwd, 0, int32(q), line, 0)
+		}
 		class = proto.Lat3Hop
 	case e.state == dirDirty && int(e.owner) == h:
 		m.caches[h].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, hs, 0, int32(h), line, 0)
+		}
 		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
 		done = m.net.Send(replyT, h, p, data)
 		class = proto.Lat2Hop
 	case upgrade:
 		done = m.net.Send(replyT, h, p, ctrl)
 		m.st.Upgrades++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvUpgrade, replyT, 0, int32(p), line, 0)
+		}
 		class = proto.Lat2Hop
 	default:
 		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
@@ -380,6 +414,9 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 		iv := m.net.Send(replyT, h, q, ctrl)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvInval, iv, 0, int32(q), line, 0)
+		}
 		if ack := m.net.Send(iv, q, p, ctrl); ack > done {
 			done = ack
 		}
@@ -418,6 +455,9 @@ func (m *Machine) handleVictims(when sim.Time, p int, victims []cache.Victim) {
 			e.sharers.Clear()
 		}
 		m.st.WriteBacks++
+		if m.trace.On() {
+			m.trace.Emit(obs.EvWriteBack, when, 0, int32(p), line, 0)
+		}
 		if h == p {
 			m.bank[p].Acquire(when, m.cfg.Timing.MemBankOcc)
 			continue

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+
+	"pimdsm/internal/sim"
+)
+
+// emitSite mirrors the guard discipline of every real emit site: one branch
+// on a disabled trace, one branch plus a ring write on an enabled one.
+func emitSite(tr *Trace, i int) {
+	if tr.On() {
+		tr.Emit(EvRead, sim.Time(i), 37, int32(i&31), uint64(i)*128, 2)
+	}
+}
+
+// BenchmarkTraceDisabled pins the disabled-path cost: the guard must compile
+// to a load + compare + branch and 0 allocs/op.
+func BenchmarkTraceDisabled(b *testing.B) {
+	tr := Nop()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emitSite(tr, i)
+	}
+}
+
+// BenchmarkTraceEnabled measures the recording path: a struct copy into the
+// ring, still 0 allocs/op.
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := NewTrace(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		emitSite(tr, i)
+	}
+}
+
+// TestEmitZeroAllocs enforces the benchmark's alloc numbers in the ordinary
+// test run, so a regression fails `go test` and not just a bench inspection.
+func TestEmitZeroAllocs(t *testing.T) {
+	disabled := Nop()
+	if n := testing.AllocsPerRun(1000, func() { emitSite(disabled, 7) }); n != 0 {
+		t.Fatalf("disabled emit allocates %v/op, want 0", n)
+	}
+	enabled := NewTrace(1 << 10)
+	if n := testing.AllocsPerRun(1000, func() { emitSite(enabled, 7) }); n != 0 {
+		t.Fatalf("enabled emit allocates %v/op, want 0", n)
+	}
+}

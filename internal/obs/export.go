@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pimdsm/internal/sim"
+)
+
+// Chrome trace_event export. The format is the JSON Object Format of the
+// Trace Event spec, loadable in chrome://tracing and Perfetto. Simulated
+// cycles are nanoseconds (1 GHz machines), and trace_event timestamps are
+// microseconds, so ts = cycles/1000 with displayTimeUnit "ns".
+
+// WriteChromeJSON writes the trace's held events as Chrome trace_event JSON.
+// Span kinds become complete ("X") events, counter kinds become counter
+// ("C") tracks, everything else becomes thread-scoped instants ("i").
+// Events are written in sim-time order.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	return WriteChromeJSONEvents(w, t.Events())
+}
+
+// WriteChromeJSONEvents writes already-extracted events (e.g. from
+// ReadBinary) as Chrome trace_event JSON. Events should be in sim-time order.
+func WriteChromeJSONEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	for i, e := range events {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		writeChromeEvent(bw, e)
+	}
+	fmt.Fprintf(bw, "]}\n")
+	return bw.Flush()
+}
+
+func writeChromeEvent(w *bufio.Writer, e Event) {
+	m := kindMeta[e.Kind]
+	ts := float64(e.At) / 1000.0
+	switch {
+	case m.counter:
+		// One counter track per node: "free-slots D3".
+		fmt.Fprintf(w, `{"name":"%s D%d","cat":"%s","ph":"C","ts":%.3f,"pid":0,"args":{"free":%d}}`,
+			m.name, e.Node, m.cat, ts, e.Arg)
+	case m.span:
+		fmt.Fprintf(w, `{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{`,
+			m.name, m.cat, ts, float64(e.Dur)/1000.0, e.Node)
+		writeArgs(w, e)
+		fmt.Fprint(w, `}}`)
+	default:
+		fmt.Fprintf(w, `{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{`,
+			m.name, m.cat, ts, e.Node)
+		writeArgs(w, e)
+		fmt.Fprint(w, `}}`)
+	}
+}
+
+// writeArgs renders the kind-specific payload.
+func writeArgs(w *bufio.Writer, e Event) {
+	switch e.Kind {
+	case EvRead, EvWrite:
+		fmt.Fprintf(w, `"addr":"%#x","class":%d`, e.Addr, e.Arg)
+	case EvMsg:
+		fmt.Fprintf(w, `"dst":%d,"hops":%d,"bytes":%d`, e.Addr, e.Arg>>32, e.Arg&0xffffffff)
+	case EvPageout:
+		fmt.Fprintf(w, `"page":"%#x","free":%d`, e.Addr, e.Arg)
+	case EvPhase:
+		fmt.Fprintf(w, `"phase":%d`, e.Arg)
+	case EvInject:
+		fmt.Fprintf(w, `"addr":"%#x","hops":%d`, e.Addr, e.Arg)
+	case EvScan:
+		fmt.Fprintf(w, `"addr":"%#x","lines":%d`, e.Addr, e.Arg)
+	case EvRunStart:
+		fmt.Fprintf(w, `"threads":%d`, e.Arg)
+	default:
+		fmt.Fprintf(w, `"addr":"%#x"`, e.Addr)
+	}
+}
+
+// Compact binary format: a fixed 24-byte header followed by fixed 40-byte
+// little-endian records. The header carries the total emitted count so a
+// reader can tell how many events the ring dropped.
+//
+//	header: magic "PDT1" | version uint16 | reserved uint16 |
+//	        held uint64 | total uint64
+//	record: At uint64 | Dur uint64 | Addr uint64 | Arg uint64 |
+//	        Node int32 | Kind uint8 | pad [3]byte
+
+const (
+	binMagic   = "PDT1"
+	binVersion = 1
+	recordSize = 40
+)
+
+// WriteBinary writes the trace's held events in the compact binary format,
+// in sim-time order.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var hdr [24]byte
+	copy(hdr[:4], binMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], binVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(t.Len()))
+	binary.LittleEndian.PutUint64(hdr[16:24], t.Total())
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for _, e := range t.Events() {
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.At))
+		binary.LittleEndian.PutUint64(rec[8:16], uint64(e.Dur))
+		binary.LittleEndian.PutUint64(rec[16:24], e.Addr)
+		binary.LittleEndian.PutUint64(rec[24:32], e.Arg)
+		binary.LittleEndian.PutUint32(rec[32:36], uint32(e.Node))
+		rec[36] = byte(e.Kind)
+		rec[37], rec[38], rec[39] = 0, 0, 0
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a compact binary trace, returning the held events and
+// the total emitted count (total > len(events) means the ring dropped the
+// difference).
+func ReadBinary(r io.Reader) (events []Event, total uint64, err error) {
+	br := bufio.NewReader(r)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("obs: trace header: %w", err)
+	}
+	if string(hdr[:4]) != binMagic {
+		return nil, 0, fmt.Errorf("obs: not a trace file (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != binVersion {
+		return nil, 0, fmt.Errorf("obs: unsupported trace version %d", v)
+	}
+	held := binary.LittleEndian.Uint64(hdr[8:16])
+	total = binary.LittleEndian.Uint64(hdr[16:24])
+	if held > (1 << 32) {
+		return nil, 0, fmt.Errorf("obs: implausible event count %d", held)
+	}
+	events = make([]Event, 0, held)
+	var rec [recordSize]byte
+	for i := uint64(0); i < held; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, 0, fmt.Errorf("obs: trace record %d: %w", i, err)
+		}
+		k := EventKind(rec[36])
+		if k >= NumEventKinds {
+			return nil, 0, fmt.Errorf("obs: trace record %d: unknown kind %d", i, k)
+		}
+		events = append(events, Event{
+			At:   sim.Time(binary.LittleEndian.Uint64(rec[0:8])),
+			Dur:  sim.Time(binary.LittleEndian.Uint64(rec[8:16])),
+			Addr: binary.LittleEndian.Uint64(rec[16:24]),
+			Arg:  binary.LittleEndian.Uint64(rec[24:32]),
+			Node: int32(binary.LittleEndian.Uint32(rec[32:36])),
+			Kind: k,
+		})
+	}
+	return events, total, nil
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// StatusLine returns a Sweep-style progress callback that renders a live,
+// carriage-return-overwritten status line to w and finishes it with a
+// newline once done reaches total. The sweep serializes progress callbacks,
+// so no locking is needed here.
+func StatusLine(w io.Writer, label string) func(done, total, i int) {
+	start := time.Now()
+	return func(done, total, i int) {
+		elapsed := time.Since(start).Round(100 * time.Millisecond)
+		pct := 0
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		fmt.Fprintf(w, "\r%s %d/%d (%d%%) %v ", label, done, total, pct, elapsed)
+		if done >= total {
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+	"pimdsm/internal/stats"
+)
+
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if r.Counter("hits") != c || c.Value() != 5 {
+		t.Fatalf("counter identity/value wrong: %d", c.Value())
+	}
+	g := r.Gauge("depth")
+	g.Set(3.5)
+	if r.Gauge("depth").Value() != 3.5 {
+		t.Fatal("gauge value wrong")
+	}
+	h := r.Histogram("lat", []sim.Time{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+	if h.Count() != 3 || h.Sum() != 5055 {
+		t.Fatalf("histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	if !reflect.DeepEqual(counts, []uint64{1, 1, 1}) {
+		t.Fatalf("bucket counts = %v", counts)
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"hits", "depth", "lat"}) {
+		t.Fatalf("Names = %v, want registration order", got)
+	}
+}
+
+func TestRegistryKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic reusing a counter name as a gauge")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestPow2Bounds(t *testing.T) {
+	b := Pow2Bounds(4)
+	if !reflect.DeepEqual(b, []sim.Time{1, 2, 4, 8}) {
+		t.Fatalf("Pow2Bounds(4) = %v", b)
+	}
+}
+
+func TestSeriesSampling(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	r.Sample(10)
+	c.Add(7)
+	r.Sample(20)
+	s := r.Series()
+	if !reflect.DeepEqual(s.Times, []sim.Time{10, 20}) {
+		t.Fatalf("Times = %v", s.Times)
+	}
+	if s.Rows[0][0] != 0 || s.Rows[1][0] != 7 {
+		t.Fatalf("Rows = %v", s.Rows)
+	}
+}
+
+func TestSampleEveryOnEngine(t *testing.T) {
+	var e sim.Engine
+	r := NewRegistry()
+	c := r.Counter("ticks")
+	e.Every(0, 100, func() { c.Inc() })
+	rec := r.SampleEvery(&e, 50, 100)
+	e.RunUntil(450)
+	e.Stop(rec)
+	s := r.Series()
+	// Samples at 50, 150, 250, 350, 450 see 1, 2, 3, 4, 5 ticks.
+	if len(s.Times) != 5 {
+		t.Fatalf("samples = %d, want 5", len(s.Times))
+	}
+	for i, row := range s.Rows {
+		if row[0] != float64(i+1) {
+			t.Fatalf("sample %d = %v, want %d", i, row[0], i+1)
+		}
+	}
+}
+
+func TestWatchEngine(t *testing.T) {
+	var e sim.Engine
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		e.At(sim.Time(i*10), func() {})
+	}
+	rec := WatchEngine(&e, r, 5, 50)
+	e.RunUntil(100)
+	e.Stop(rec)
+	s := r.Series()
+	if len(s.Times) == 0 {
+		t.Fatal("no samples")
+	}
+	if r.Gauge("engine.dispatched").Value() == 0 {
+		t.Fatal("dispatched gauge never set")
+	}
+	if r.Gauge("engine.max_pending").Value() < 10 {
+		t.Fatalf("max_pending = %v, want >= 10", r.Gauge("engine.max_pending").Value())
+	}
+}
+
+func TestCollectMachine(t *testing.T) {
+	var m stats.Machine
+	m.Read(proto.LatMem, 57)
+	m.Read(proto.Lat2Hop, 298)
+	m.Write(proto.Lat2Hop, 310)
+	m.Invalidations = 4
+	m.Pageouts = 2
+
+	r := NewRegistry()
+	CollectMachine(r, &m)
+	if v := r.Counter("read.count.Memory").Value(); v != 1 {
+		t.Fatalf("read.count.Memory = %d", v)
+	}
+	if v := r.Counter("read.lat.2Hop").Value(); v != 298 {
+		t.Fatalf("read.lat.2Hop = %d", v)
+	}
+	if v := r.Counter("invalidations").Value(); v != 4 {
+		t.Fatalf("invalidations = %d", v)
+	}
+	if v := r.Histogram("read.lat.hist", nil).Count(); v != 2 {
+		t.Fatalf("read hist count = %d", v)
+	}
+	// Collecting a second run accumulates.
+	CollectMachine(r, &m)
+	if v := r.Counter("pageouts").Value(); v != 4 {
+		t.Fatalf("pageouts after two collections = %d", v)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		r := NewRegistry()
+		r.Counter("a").Add(1)
+		r.Gauge("b").Set(2.5)
+		r.Histogram("c", Pow2Bounds(3)).Observe(3)
+		r.Sample(100)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	first, second := mk(), mk()
+	if first.String() != second.String() {
+		t.Fatal("WriteJSON output not deterministic")
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(first.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, first.String())
+	}
+	if _, ok := doc["metrics"]; !ok {
+		t.Fatal("no metrics key")
+	}
+	if _, ok := doc["series"]; !ok {
+		t.Fatal("no series key despite sampling")
+	}
+}

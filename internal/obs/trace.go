@@ -1,0 +1,219 @@
+// Package obs is the simulator's observability layer: a zero-allocation
+// structured trace of protocol events, a metrics registry of counters,
+// gauges and fixed-bucket histograms with time-series sampling, and
+// introspection helpers for the event engine and the sweep worker pool.
+//
+// Tracing is designed so the disabled path costs a single predictable
+// branch: every emit site is guarded by Trace.On(), machines default to the
+// shared disabled trace from Nop(), and Emit never allocates (the ring
+// buffer is sized once, up front). Enabling tracing never changes
+// simulation results — events are recorded, never consulted.
+package obs
+
+import (
+	"sort"
+
+	"pimdsm/internal/sim"
+)
+
+// EventKind identifies a protocol event type — the taxonomy of DESIGN.md's
+// "Observability architecture" section.
+type EventKind uint8
+
+// The event taxonomy. Span events carry a duration; counter events carry a
+// sampled value in Arg; the rest are instants.
+const (
+	// EvNone is the zero kind (an unwritten ring slot).
+	EvNone EventKind = iota
+	// EvRunStart marks the beginning of a machine run (Arg = thread count).
+	// It separates runs when several share one trace.
+	EvRunStart
+	// EvRead is a completed read transaction: span; Arg = proto.LatClass.
+	EvRead
+	// EvWrite is a completed write transaction: span; Arg = proto.LatClass.
+	EvWrite
+	// EvInval is an invalidation delivered to Node's copy of Addr.
+	EvInval
+	// EvWriteBack is a displaced owned line written back to its home by Node.
+	EvWriteBack
+	// EvRecall is a line recalled from its owner Node during pageout or scan.
+	EvRecall
+	// EvUpgrade is an ownership-only write (no data transfer) by Node.
+	EvUpgrade
+	// EvDiskFault is an access that touched disk-resident data at home Node.
+	EvDiskFault
+	// EvPageout is one page written out by D-node Node (Addr = page,
+	// Arg = FreeList length after the pageout).
+	EvPageout
+	// EvCrisis is a transaction stalled on a synchronous pageout at Node.
+	EvCrisis
+	// EvInject is a COMA master-line injection accepted by Node
+	// (Arg = cascade hops).
+	EvInject
+	// EvOverflow is an injection (or set-assoc spill) that fell back to disk.
+	EvOverflow
+	// EvScan is a computation-in-memory scan at D-node Node: span;
+	// Arg = lines traversed.
+	EvScan
+	// EvMsg is a mesh message: span; Node = source mesh index, Addr =
+	// destination mesh index, Arg = hops<<32 | bytes.
+	EvMsg
+	// EvOcc is a D-node occupancy sample: counter; Arg = free Data slots.
+	EvOcc
+	// EvPhase marks thread Node crossing phase marker Arg.
+	EvPhase
+	// NumEventKinds is the number of kinds.
+	NumEventKinds
+)
+
+// kindMeta drives export: the display name, a Chrome trace category, and
+// whether the event is a span (ph "X") or a counter (ph "C").
+var kindMeta = [NumEventKinds]struct {
+	name    string
+	cat     string
+	span    bool
+	counter bool
+}{
+	EvNone:      {name: "none", cat: "meta"},
+	EvRunStart:  {name: "run-start", cat: "meta"},
+	EvRead:      {name: "read", cat: "mem", span: true},
+	EvWrite:     {name: "write", cat: "mem", span: true},
+	EvInval:     {name: "inval", cat: "proto"},
+	EvWriteBack: {name: "writeback", cat: "proto"},
+	EvRecall:    {name: "recall", cat: "proto"},
+	EvUpgrade:   {name: "upgrade", cat: "proto"},
+	EvDiskFault: {name: "disk-fault", cat: "paging"},
+	EvPageout:   {name: "pageout", cat: "paging"},
+	EvCrisis:    {name: "crisis", cat: "paging"},
+	EvInject:    {name: "inject", cat: "coma"},
+	EvOverflow:  {name: "overflow", cat: "coma"},
+	EvScan:      {name: "scan", cat: "cim", span: true},
+	EvMsg:       {name: "msg", cat: "mesh", span: true},
+	EvOcc:       {name: "free-slots", cat: "paging", counter: true},
+	EvPhase:     {name: "phase", cat: "app"},
+}
+
+// String returns the kind's display name.
+func (k EventKind) String() string {
+	if k < NumEventKinds {
+		return kindMeta[k].name
+	}
+	return "invalid"
+}
+
+// Span reports whether the kind carries a duration.
+func (k EventKind) Span() bool { return k < NumEventKinds && kindMeta[k].span }
+
+// Event is one traced occurrence. Events are plain values with no pointers,
+// so the ring buffer is a single flat allocation and emitting is a copy.
+type Event struct {
+	At   sim.Time // sim-time start, in cycles
+	Dur  sim.Time // duration for span kinds, 0 otherwise
+	Addr uint64   // line or page address, 0 when not applicable
+	Arg  uint64   // kind-specific payload (see the kind docs)
+	Node int32    // node ID (machine-specific numbering; -1 = whole machine)
+	Kind EventKind
+}
+
+// Trace is a fixed-capacity ring buffer of events. When full it overwrites
+// the oldest events, keeping the most recent Cap(). The zero value (and the
+// shared Nop() instance) is permanently disabled: On() is false and Emit is
+// a no-op. A Trace is not safe for concurrent emitters — give each
+// concurrent run its own.
+type Trace struct {
+	on   bool
+	mask uint64
+	buf  []Event
+	n    uint64 // total events emitted, including overwritten ones
+}
+
+// nop is the shared disabled trace machines default to, so every emit site
+// can be guarded by a nil-free single-branch On() check.
+var nop = &Trace{}
+
+// Nop returns the shared disabled trace. Emitting on it is a no-op (and
+// never happens under the On() guard discipline).
+func Nop() *Trace { return nop }
+
+// NewTrace returns an enabled trace holding the most recent capacity events
+// (rounded up to a power of two; capacity <= 0 selects 1<<16).
+func NewTrace(capacity int) *Trace {
+	c := uint64(1 << 16)
+	if capacity > 0 {
+		c = 1
+		for c < uint64(capacity) {
+			c <<= 1
+		}
+	}
+	return &Trace{on: true, mask: c - 1, buf: make([]Event, c)}
+}
+
+// On reports whether the trace records events. It is the one branch every
+// emit site pays when tracing is disabled.
+func (t *Trace) On() bool { return t.on }
+
+// Emit records one event. It never allocates; when the ring is full the
+// oldest event is overwritten.
+func (t *Trace) Emit(k EventKind, at, dur sim.Time, node int32, addr, arg uint64) {
+	if !t.on {
+		return
+	}
+	t.buf[t.n&t.mask] = Event{At: at, Dur: dur, Addr: addr, Arg: arg, Node: node, Kind: k}
+	t.n++
+}
+
+// Cap returns the ring capacity (0 for the disabled trace).
+func (t *Trace) Cap() int { return len(t.buf) }
+
+// Total returns the number of events emitted, including any overwritten.
+func (t *Trace) Total() uint64 { return t.n }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (t *Trace) Dropped() uint64 {
+	if t.n <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.n - uint64(len(t.buf))
+}
+
+// Len returns the number of events currently held.
+func (t *Trace) Len() int {
+	if t.n < uint64(len(t.buf)) {
+		return int(t.n)
+	}
+	return len(t.buf)
+}
+
+// Reset discards all recorded events, keeping the buffer.
+func (t *Trace) Reset() { t.n = 0 }
+
+// Events returns the held events ordered by sim time (ties keep emission
+// order, which is deterministic because the simulator is). The slice is a
+// fresh copy; mutating it does not affect the trace.
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, t.Len())
+	start := uint64(0)
+	if t.n > uint64(len(t.buf)) {
+		start = t.n - uint64(len(t.buf))
+	}
+	for i := start; i < t.n; i++ {
+		out = append(out, t.buf[i&t.mask])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CountKind returns how many held events have the given kind.
+func (t *Trace) CountKind(k EventKind) int {
+	n := 0
+	start := uint64(0)
+	if t.n > uint64(len(t.buf)) {
+		start = t.n - uint64(len(t.buf))
+	}
+	for i := start; i < t.n; i++ {
+		if t.buf[i&t.mask].Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -8,7 +8,11 @@
 // on that).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"time"
+)
 
 // Time is a point in simulated time, in CPU cycles.
 type Time uint64
@@ -35,8 +39,12 @@ type event struct {
 type Recurring struct {
 	fn      func()
 	period  Time
+	name    string // introspection label (EveryNamed); "" for anonymous
 	stopped bool
 }
+
+// Name returns the introspection label the record was scheduled with.
+func (r *Recurring) Name() string { return r.name }
 
 // Engine is a deterministic discrete-event simulator. The zero value is ready
 // to use.
@@ -46,6 +54,113 @@ type Engine struct {
 	seq uint64
 	// recFree recycles stopped Recurring records.
 	recFree []*Recurring
+
+	// Introspection counters (always on; each costs an increment or a
+	// compare per operation).
+	dispatched uint64 // events fired, including recurring occurrences
+	recFired   uint64 // recurring occurrences among dispatched
+	maxPending int    // high-water mark of the event queue
+
+	// prof, when non-nil, wall-clocks every handler (see StartProfile).
+	prof *profile
+}
+
+// EngineStats is a snapshot of the engine's introspection counters.
+type EngineStats struct {
+	Now            Time
+	Pending        int    // events currently queued
+	MaxPending     int    // queue-depth high-water mark
+	Dispatched     uint64 // events fired so far
+	RecurringFired uint64 // recurring occurrences among Dispatched
+}
+
+// Stats returns a snapshot of the engine's introspection counters.
+func (e *Engine) Stats() EngineStats {
+	e.settle()
+	return EngineStats{
+		Now:            e.now,
+		Pending:        len(e.ev),
+		MaxPending:     e.maxPending,
+		Dispatched:     e.dispatched,
+		RecurringFired: e.recFired,
+	}
+}
+
+// profile accumulates host wall time per handler label while profiling is
+// active. One-shot events share the "" label; recurring events are grouped
+// by the name given to EveryNamed.
+type profile struct {
+	started time.Time
+	events  uint64
+	wall    map[string]time.Duration
+	calls   map[string]uint64
+}
+
+func (p *profile) add(name string, d time.Duration) {
+	p.events++
+	p.wall[name] += d
+	p.calls[name]++
+}
+
+// HandlerShare is one handler group's share of profiled wall time.
+type HandlerShare struct {
+	Name  string // "" is the anonymous one-shot group
+	Wall  time.Duration
+	Calls uint64
+	Share float64 // fraction of total profiled handler wall time
+}
+
+// ProfileReport summarizes a profiling window: host-time throughput and the
+// per-handler wall-time split. It is host-side observability only — nothing
+// in it feeds back into simulation state, so profiling cannot perturb
+// results (only slow them down).
+type ProfileReport struct {
+	Elapsed      time.Duration
+	Events       uint64
+	EventsPerSec float64
+	Handlers     []HandlerShare // sorted by descending wall time
+}
+
+// StartProfile begins wall-clocking every dispatched handler. Calling it
+// again restarts the window.
+func (e *Engine) StartProfile() {
+	e.prof = &profile{
+		started: time.Now(),
+		wall:    make(map[string]time.Duration),
+		calls:   make(map[string]uint64),
+	}
+}
+
+// StopProfile ends the profiling window and returns its report. Without a
+// matching StartProfile it returns a zero report.
+func (e *Engine) StopProfile() ProfileReport {
+	p := e.prof
+	e.prof = nil
+	if p == nil {
+		return ProfileReport{}
+	}
+	rep := ProfileReport{Elapsed: time.Since(p.started), Events: p.events}
+	if rep.Elapsed > 0 {
+		rep.EventsPerSec = float64(p.events) / rep.Elapsed.Seconds()
+	}
+	var total time.Duration
+	for _, d := range p.wall {
+		total += d
+	}
+	for name, d := range p.wall {
+		share := 0.0
+		if total > 0 {
+			share = float64(d) / float64(total)
+		}
+		rep.Handlers = append(rep.Handlers, HandlerShare{Name: name, Wall: d, Calls: p.calls[name], Share: share})
+	}
+	sort.Slice(rep.Handlers, func(i, j int) bool {
+		if rep.Handlers[i].Wall != rep.Handlers[j].Wall {
+			return rep.Handlers[i].Wall > rep.Handlers[j].Wall
+		}
+		return rep.Handlers[i].Name < rep.Handlers[j].Name
+	})
+	return rep
 }
 
 // Now returns the current simulated time.
@@ -69,6 +184,12 @@ func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
 // reuses the same record, so a periodic event costs no allocation per
 // occurrence.
 func (e *Engine) Every(first, period Time, fn func()) *Recurring {
+	return e.EveryNamed(first, period, "", fn)
+}
+
+// EveryNamed is Every with an introspection label: profiled wall time and
+// fire counts are aggregated under name in ProfileReport.
+func (e *Engine) EveryNamed(first, period Time, name string, fn func()) *Recurring {
 	if first < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", first, e.now))
 	}
@@ -83,7 +204,7 @@ func (e *Engine) Every(first, period Time, fn func()) *Recurring {
 	} else {
 		r = new(Recurring)
 	}
-	*r = Recurring{fn: fn, period: period}
+	*r = Recurring{fn: fn, period: period, name: name}
 	e.seq++
 	e.push(event{at: first, seq: e.seq, rec: r})
 	return r
@@ -129,12 +250,26 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.at
+	e.dispatched++
 	if r := ev.rec; r != nil {
 		// Requeue before firing so fn observes a consistent Pending count;
 		// if fn calls Stop, the queued occurrence is reaped before it fires.
 		e.seq++
 		e.push(event{at: ev.at + r.period, seq: e.seq, rec: r})
+		e.recFired++
+		if p := e.prof; p != nil {
+			start := time.Now()
+			r.fn()
+			p.add(r.name, time.Since(start))
+			return true
+		}
 		r.fn()
+		return true
+	}
+	if p := e.prof; p != nil {
+		start := time.Now()
+		ev.fn()
+		p.add("", time.Since(start))
 		return true
 	}
 	ev.fn()
@@ -176,6 +311,9 @@ func (e *Engine) less(a, b *event) bool {
 
 func (e *Engine) push(ev event) {
 	e.ev = append(e.ev, ev)
+	if len(e.ev) > e.maxPending {
+		e.maxPending = len(e.ev)
+	}
 	i := len(e.ev) - 1
 	for i > 0 {
 		parent := (i - 1) / 4

@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+func TestEngineStatsCounters(t *testing.T) {
+	var e Engine
+	s := e.Stats()
+	if s != (EngineStats{}) {
+		t.Fatalf("zero engine stats = %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		e.At(Time(i*10), func() {})
+	}
+	if s := e.Stats(); s.Pending != 5 || s.MaxPending != 5 || s.Dispatched != 0 {
+		t.Fatalf("pre-run stats = %+v", s)
+	}
+	r := e.Every(0, 10, func() {})
+	e.RunUntil(40)
+	e.Stop(r)
+	s = e.Stats()
+	if s.Now != 40 {
+		t.Fatalf("Now = %d", s.Now)
+	}
+	// 5 one-shots + recurring at 0,10,20,30,40.
+	if s.Dispatched != 10 || s.RecurringFired != 5 {
+		t.Fatalf("dispatched=%d recurring=%d, want 10/5", s.Dispatched, s.RecurringFired)
+	}
+	if s.MaxPending < 5 {
+		t.Fatalf("MaxPending = %d, want >= 5", s.MaxPending)
+	}
+}
+
+func TestEveryNamedLabel(t *testing.T) {
+	var e Engine
+	r := e.EveryNamed(0, 10, "sampler", func() {})
+	if r.Name() != "sampler" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	e.Stop(r)
+	// A recycled record must not keep the old label.
+	r2 := e.Every(e.Now(), 10, func() {})
+	if r2.Name() != "" {
+		t.Fatalf("recycled record kept label %q", r2.Name())
+	}
+	e.Stop(r2)
+}
+
+func TestProfileReport(t *testing.T) {
+	var e Engine
+	work := func() {
+		x := 0
+		for i := 0; i < 1000; i++ {
+			x += i
+		}
+		_ = x
+	}
+	rec := e.EveryNamed(0, 10, "ticker", work)
+	e.At(5, work)
+	e.StartProfile()
+	e.RunUntil(100)
+	e.Stop(rec)
+	rep := e.StopProfile()
+	if rep.Events != 12 { // 11 recurring (0..100 step 10) + 1 one-shot
+		t.Fatalf("Events = %d, want 12", rep.Events)
+	}
+	if rep.EventsPerSec <= 0 {
+		t.Fatalf("EventsPerSec = %v", rep.EventsPerSec)
+	}
+	names := map[string]HandlerShare{}
+	total := 0.0
+	for _, h := range rep.Handlers {
+		names[h.Name] = h
+		total += h.Share
+	}
+	if names["ticker"].Calls != 11 || names[""].Calls != 1 {
+		t.Fatalf("handler calls: %+v", rep.Handlers)
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("shares sum to %v", total)
+	}
+	// StopProfile without StartProfile is a zero report, not a crash.
+	if rep := e.StopProfile(); rep.Events != 0 {
+		t.Fatalf("second StopProfile = %+v", rep)
+	}
+}
+
+func TestProfilingDoesNotPerturbResults(t *testing.T) {
+	run := func(profile bool) []Time {
+		var e Engine
+		var fired []Time
+		rec := e.Every(5, 7, func() { fired = append(fired, e.Now()) })
+		for i := 0; i < 20; i++ {
+			e.At(Time(i*3), func() { fired = append(fired, e.Now()) })
+		}
+		if profile {
+			e.StartProfile()
+		}
+		e.RunUntil(60)
+		e.Stop(rec)
+		return fired
+	}
+	plain, profiled := run(false), run(true)
+	if len(plain) != len(profiled) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain), len(profiled))
+	}
+	for i := range plain {
+		if plain[i] != profiled[i] {
+			t.Fatalf("event %d at %d vs %d", i, plain[i], profiled[i])
+		}
+	}
+}

@@ -4,9 +4,60 @@
 package stats
 
 import (
+	"math/bits"
+
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 )
+
+// NumLatBuckets is the number of power-of-two latency buckets in a LatHist.
+// Bucket 19 starts at 2^18 = 262144 cycles, far above any single
+// transaction (disk faults are 20k cycles), so the top bucket effectively
+// never saturates.
+const NumLatBuckets = 20
+
+// LatHist is a fixed-bucket latency histogram: bucket b counts latencies in
+// [2^(b-1), 2^b - 1] cycles (bucket 0 counts zero-latency events, which do
+// not occur in practice; bucket NumLatBuckets-1 absorbs everything above
+// its lower bound). Accumulation is branch-light and allocation-free, so it
+// stays on even when tracing is off.
+type LatHist [NumLatBuckets]uint64
+
+// Observe records one latency.
+func (h *LatHist) Observe(lat sim.Time) {
+	b := bits.Len64(uint64(lat))
+	if b >= NumLatBuckets {
+		b = NumLatBuckets - 1
+	}
+	h[b]++
+}
+
+// Total returns the number of recorded latencies.
+func (h *LatHist) Total() uint64 {
+	var t uint64
+	for _, v := range h {
+		t += v
+	}
+	return t
+}
+
+// Diff returns the bucket counts accumulated since prev.
+func (h *LatHist) Diff(prev *LatHist) LatHist {
+	d := *h
+	for i := range d {
+		d[i] -= prev[i]
+	}
+	return d
+}
+
+// BucketBound returns the inclusive upper latency bound of bucket i; the
+// last bucket is unbounded and returns sim.Never.
+func BucketBound(i int) sim.Time {
+	if i >= NumLatBuckets-1 {
+		return sim.Never
+	}
+	return sim.Time(1)<<uint(i) - 1
+}
 
 // Machine aggregates coherence-engine counters for one simulated machine.
 type Machine struct {
@@ -19,6 +70,11 @@ type Machine struct {
 	// Write transactions, by the same classes.
 	WriteLatSum [proto.NumLatClasses]sim.Time
 	WriteCount  [proto.NumLatClasses]uint64
+	// ReadHist/WriteHist bucket the same latencies into power-of-two bins,
+	// so the *distribution* (not just the sum) of transaction latencies is
+	// visible — the observability the end-of-run averages hide.
+	ReadHist  LatHist
+	WriteHist LatHist
 
 	Invalidations uint64 // invalidation messages sent
 	WriteBacks    uint64 // dirty/master displacements written back to a home
@@ -39,12 +95,14 @@ type Machine struct {
 func (m *Machine) Read(class proto.LatClass, lat sim.Time) {
 	m.ReadLatSum[class] += lat
 	m.ReadCount[class]++
+	m.ReadHist.Observe(lat)
 }
 
 // Write records a completed write transaction.
 func (m *Machine) Write(class proto.LatClass, lat sim.Time) {
 	m.WriteLatSum[class] += lat
 	m.WriteCount[class]++
+	m.WriteHist.Observe(lat)
 }
 
 // TotalReadLat returns the sum of all read latencies (the Figure 7 bar height).
@@ -74,6 +132,8 @@ func (m *Machine) Diff(prev *Machine) Machine {
 		d.WriteLatSum[i] -= prev.WriteLatSum[i]
 		d.WriteCount[i] -= prev.WriteCount[i]
 	}
+	d.ReadHist = d.ReadHist.Diff(&prev.ReadHist)
+	d.WriteHist = d.WriteHist.Diff(&prev.WriteHist)
 	d.Invalidations -= prev.Invalidations
 	d.WriteBacks -= prev.WriteBacks
 	d.Recalls -= prev.Recalls

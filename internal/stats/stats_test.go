@@ -50,6 +50,97 @@ func TestDiffSubtractsEverything(t *testing.T) {
 	}
 }
 
+func TestLatHistBuckets(t *testing.T) {
+	// Bucket b of the power-of-two histogram holds bits.Len64(lat): the L1
+	// hit (1 cycle) lands in bucket 1, the 37-cycle local memory hit in
+	// bucket 6, the 298-cycle 2-hop round trip in bucket 9, the 20k-cycle
+	// disk fault in bucket 15; anything at or above 2^19 saturates the top.
+	cases := []struct {
+		lat    sim.Time
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{37, 6},
+		{298, 9},
+		{20000, 15},
+		{1 << 18, 19},
+		{1 << 30, NumLatBuckets - 1},
+		{sim.Never, NumLatBuckets - 1},
+	}
+	for _, tc := range cases {
+		var h LatHist
+		h.Observe(tc.lat)
+		if h[tc.bucket] != 1 {
+			t.Errorf("Observe(%d): want bucket %d, got %v", tc.lat, tc.bucket, h)
+		}
+		if h.Total() != 1 {
+			t.Errorf("Observe(%d): Total = %d", tc.lat, h.Total())
+		}
+	}
+}
+
+func TestLatHistBucketBound(t *testing.T) {
+	if BucketBound(0) != 0 {
+		t.Fatalf("BucketBound(0) = %d", BucketBound(0))
+	}
+	if BucketBound(3) != 7 {
+		t.Fatalf("BucketBound(3) = %d, want 7", BucketBound(3))
+	}
+	if BucketBound(NumLatBuckets-1) != sim.Never {
+		t.Fatal("top bucket should be unbounded")
+	}
+	// Every bucket's bound must actually bucket there (except the last).
+	for i := 1; i < NumLatBuckets-1; i++ {
+		var h LatHist
+		h.Observe(BucketBound(i))
+		if h[i] != 1 {
+			t.Errorf("BucketBound(%d) = %d does not land in bucket %d: %v", i, BucketBound(i), i, h)
+		}
+	}
+}
+
+func TestLatHistDiff(t *testing.T) {
+	var a LatHist
+	a.Observe(10)
+	a.Observe(300)
+	snap := a
+	a.Observe(300)
+	a.Observe(5000)
+	d := a.Diff(&snap)
+	if d.Total() != 2 {
+		t.Fatalf("diff total = %d, want 2", d.Total())
+	}
+	var want LatHist
+	want.Observe(300)
+	want.Observe(5000)
+	if d != want {
+		t.Fatalf("diff = %v, want %v", d, want)
+	}
+}
+
+func TestMachineHistsTrackReadsWrites(t *testing.T) {
+	var m Machine
+	m.Read(proto.LatL1, 1)
+	m.Read(proto.LatMem, 37)
+	m.Write(proto.Lat2Hop, 298)
+	if m.ReadHist.Total() != m.Reads() {
+		t.Fatalf("read hist total %d != reads %d", m.ReadHist.Total(), m.Reads())
+	}
+	if m.WriteHist.Total() != 1 || m.WriteHist[9] != 1 {
+		t.Fatalf("write hist wrong: %v", m.WriteHist)
+	}
+	snap := m
+	m.Read(proto.Lat3Hop, 450)
+	d := m.Diff(&snap)
+	if d.ReadHist.Total() != 1 || d.WriteHist.Total() != 0 {
+		t.Fatalf("hist diff wrong: reads %v writes %v", d.ReadHist, d.WriteHist)
+	}
+}
+
 func TestBreakdown(t *testing.T) {
 	threads := []Thread{
 		{MemStall: 100, Finish: 1000},

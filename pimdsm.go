@@ -25,7 +25,10 @@
 package pimdsm
 
 import (
+	"io"
+
 	"pimdsm/internal/machine"
+	"pimdsm/internal/obs"
 	"pimdsm/internal/sim"
 	"pimdsm/internal/workload"
 )
@@ -65,6 +68,36 @@ func Apps() []string { return workload.Names() }
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) { return machine.Run(cfg) }
+
+// Trace is a fixed-capacity ring buffer of typed protocol events. Set one on
+// Config.Trace (or Options.Trace) to record a run; recording never changes
+// simulation results. See internal/obs for the event taxonomy.
+type Trace = obs.Trace
+
+// Metrics is a registry of named counters, gauges and latency histograms.
+// Set one on Config.Metrics (or Options.Metrics) to accumulate run counters.
+type Metrics = obs.Registry
+
+// NewTrace returns a trace ring holding up to capacity events (rounded up to
+// a power of two; 0 means 65536). When full, the oldest events are dropped.
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteChromeTrace writes t in Chrome trace_event JSON format — loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, t *Trace) error { return t.WriteChromeJSON(w) }
+
+// WriteBinaryTrace writes t in the compact PDT1 binary format (40 bytes per
+// event); `pimdsm trace dump` pretty-prints it.
+func WriteBinaryTrace(w io.Writer, t *Trace) error { return t.WriteBinary(w) }
+
+// StatusLine returns a Sweep/Options progress callback that renders a live
+// status line to w (normally os.Stderr).
+func StatusLine(w io.Writer, label string) func(done, total, i int) {
+	return obs.StatusLine(w, label)
+}
 
 // ReconfigCosts is the §4.2 dynamic-reconfiguration overhead model.
 type ReconfigCosts = machine.ReconfigCosts

@@ -18,6 +18,13 @@ type Sweep struct {
 	// goroutines created — workers pull jobs, jobs do not spawn goroutines).
 	// Zero or negative means runtime.NumCPU().
 	Workers int
+
+	// Progress, when non-nil, is called after each run completes with the
+	// number of finished runs, the batch size, and the index of the run that
+	// just finished. Calls are serialized (a mutex in the parallel path), so
+	// the callback needs no locking of its own; see obs.StatusLine for a
+	// ready-made live status line.
+	Progress func(done, total, i int)
 }
 
 // runSim is stubbed by tests to observe pool behavior.
@@ -43,16 +50,27 @@ func (s Sweep) RunMany(cfgs []Config) ([]*Result, error) {
 	if workers <= 1 {
 		for i := range cfgs {
 			results[i], errs[i] = runSim(cfgs[i])
+			if s.Progress != nil {
+				s.Progress(i+1, len(cfgs), i)
+			}
 		}
 	} else {
 		jobs := make(chan int)
 		var wg sync.WaitGroup
+		var mu sync.Mutex
+		done := 0
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
 					results[i], errs[i] = runSim(cfgs[i])
+					if s.Progress != nil {
+						mu.Lock()
+						done++
+						s.Progress(done, len(cfgs), i)
+						mu.Unlock()
+					}
 				}
 			}()
 		}
