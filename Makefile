@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,15 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
 
 ci: build vet test race-hot
+
+# figures_output.txt is a build artifact (gitignored), regenerated on demand.
+figures-output:
+	$(GO) run ./cmd/figures -quick > figures_output.txt
+
+# audit runs the per-transaction coherence auditor on one configuration per
+# machine type; any protocol-invariant violation fails the target.
+audit:
+	$(GO) run ./cmd/aggsim -arch agg  -app ocean -scale 0.05 -threads 8 -pressure 0.75 -audit >/dev/null
+	$(GO) run ./cmd/aggsim -arch numa -app ocean -scale 0.05 -threads 8 -pressure 0.75 -audit >/dev/null
+	$(GO) run ./cmd/aggsim -arch coma -app ocean -scale 0.05 -threads 8 -pressure 0.75 -audit >/dev/null
+	@echo "audit: all three machine types clean"

@@ -8,6 +8,7 @@
 //	       [-threads 32] [-scale 1.0] [-dnodes n]
 //	       [-trace f.json] [-trace-bin f.bin] [-trace-buf n]
 //	       [-metrics-out f.json] [-progress]
+//	       [-spans] [-spans-out f.bin] [-audit] [-http addr]
 //	       [-cpuprofile f] [-memprofile f]
 //
 // -trace records the run's protocol events and writes them as Chrome
@@ -16,16 +17,26 @@
 // Tracing never changes simulation results.
 // -metrics-out writes the run's counters, gauges and latency histograms as
 // JSON. -progress prints a phase-by-phase status line to stderr.
+// -spans records per-transaction phase spans and prints the miss-latency
+// breakdown; -spans-out writes the recorder in the PDS1 binary form (see
+// `pimdsm spans dump`). -audit runs the per-transaction coherence auditor
+// and exits nonzero if any protocol invariant is violated.
+// -http serves a live dashboard (in-flight span table, metrics, expvar,
+// pprof) on the given address (e.g. localhost:8080); after the run finishes
+// it keeps serving the final sections until interrupted (Ctrl-C).
 // -cpuprofile / -memprofile write pprof profiles covering the run (see
 // README.md, "Profiling").
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"pimdsm"
 	"pimdsm/internal/proto"
@@ -48,6 +59,10 @@ func realMain() int {
 	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events (rounded to a power of two)")
 	metricsOut := flag.String("metrics-out", "", "write metrics registry JSON to file")
 	progress := flag.Bool("progress", false, "print phase progress to stderr")
+	spansOn := flag.Bool("spans", false, "record transaction spans and print the phase breakdown")
+	spansOut := flag.String("spans-out", "", "write the span recorder in PDS1 binary form to file")
+	audit := flag.Bool("audit", false, "audit coherence invariants per transaction; exit 1 on violations")
+	httpAddr := flag.String("http", "", "serve a live dashboard on this address while running")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
 	flag.Parse()
@@ -73,14 +88,31 @@ func realMain() int {
 		cfg.Trace = tr
 	}
 	var reg *pimdsm.Metrics
-	if *metricsOut != "" {
+	if *metricsOut != "" || *httpAddr != "" {
 		reg = pimdsm.NewMetrics()
 		cfg.Metrics = reg
 	}
+	var spans *pimdsm.Spans
+	if *spansOn || *spansOut != "" || *httpAddr != "" {
+		spans = pimdsm.NewSpans(0)
+		cfg.Spans = spans
+	}
+	cfg.Audit = *audit
 	if *progress {
 		cfg.PhaseProgress = func(phase int, at pimdsm.Time) {
 			fmt.Fprintf(os.Stderr, "phase %d done at cycle %d\n", phase, at)
 		}
+	}
+	var dash *pimdsm.Dashboard
+	if *httpAddr != "" {
+		dash = pimdsm.NewDashboard()
+		addr, err := dash.ListenAndServe(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", addr)
+		spans.SetMirror(dash, "spans", 0)
 	}
 	res, err := pimdsm.Run(cfg)
 	if err != nil {
@@ -132,6 +164,51 @@ func realMain() int {
 	net := res.Mesh
 	fmt.Printf("mesh: %d messages, %.1f MB, avg queueing %d cycles\n",
 		net.Messages, float64(net.Bytes)/(1<<20), uint64(net.Queued)/max64(net.Messages, 1))
+	if *spansOn {
+		fmt.Printf("\nspan breakdown (%d transactions, %d bad):\n", spans.Retired(), spans.Bad())
+		spans.WriteBreakdown(os.Stdout)
+		for _, d := range spans.BadSamples() {
+			fmt.Printf("  BAD: %s\n", d)
+		}
+	}
+	if *spansOut != "" {
+		f, err := os.Create(*spansOut)
+		if err == nil {
+			err = pimdsm.WriteBinarySpans(f, spans)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spans-out:", err)
+			return 1
+		}
+	}
+	if *audit {
+		if res.AuditViolations > 0 {
+			fmt.Fprintf(os.Stderr, "audit: %d coherence-invariant violations\n", res.AuditViolations)
+			for _, d := range res.AuditSamples {
+				fmt.Fprintf(os.Stderr, "  %s\n", d)
+			}
+			return 1
+		}
+		fmt.Printf("audit: no coherence-invariant violations\n")
+	}
+	if dash != nil {
+		// A single run is often over in milliseconds; keep the dashboard up
+		// so the final spans/metrics are inspectable until interrupted.
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err == nil {
+			dash.Publish("metrics", buf.String())
+		}
+		var sb strings.Builder
+		spans.WriteBreakdown(&sb)
+		dash.Publish("spans", sb.String())
+		fmt.Fprintln(os.Stderr, "run complete; dashboard still serving (Ctrl-C to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 	return 0
 }
 

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b]
+//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b|decompose]
 //	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick]
-//	        [-parallel n] [-progress] [-trace f.json] [-trace-buf n]
+//	        [-parallel n] [-progress] [-http addr]
+//	        [-trace f.json] [-trace-buf n]
 //	        [-metrics-out f.json] [-cpuprofile f] [-memprofile f]
 //
 // -quick shrinks problem sizes and the Figure 9 grid for a fast smoke pass.
 // -parallel bounds the simulations in flight (default: one per CPU).
 // -progress renders a live per-batch status line on stderr.
+// -http serves a live dashboard (batch progress, expvar, pprof) on the given
+// address (e.g. localhost:8080) while the figures regenerate.
 // -trace records every run's protocol events into one shared ring and writes
 // Chrome trace_event JSON; -metrics-out accumulates every run's counters.
 // Either forces the runs serial (same results, just slower).
@@ -35,13 +38,14 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment to regenerate")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1-3, fig6-10b, decompose)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	threads := flag.Int("threads", 32, "application threads")
 	apps := flag.String("apps", "", "comma-separated app subset")
 	quick := flag.Bool("quick", false, "small scale and coarse grids")
 	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per CPU)")
 	progress := flag.Bool("progress", false, "render a live status line per batch on stderr")
+	httpAddr := flag.String("http", "", "serve a live dashboard on this address while running")
 	tracePath := flag.String("trace", "", "write Chrome trace_event JSON covering every run to file")
 	traceBuf := flag.Int("trace-buf", 1<<20, "trace ring capacity in events (rounded to a power of two)")
 	metricsOut := flag.String("metrics-out", "", "write accumulated metrics registry JSON to file")
@@ -62,6 +66,21 @@ func realMain() int {
 	}
 	if *progress {
 		opt.Progress = pimdsm.StatusLine(os.Stderr, "runs")
+	}
+	if *httpAddr != "" {
+		dash := pimdsm.NewDashboard()
+		addr, err := dash.ListenAndServe(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", addr)
+		web := dash.ProgressFunc("progress")
+		if prev := opt.Progress; prev != nil {
+			opt.Progress = func(done, total, i int) { prev(done, total, i); web(done, total, i) }
+		} else {
+			opt.Progress = web
+		}
 	}
 	if *tracePath != "" {
 		opt.Trace = pimdsm.NewTrace(*traceBuf)
@@ -149,6 +168,18 @@ func realMain() int {
 		fmt.Print(pimdsm.FormatFigure10b(pts))
 		return nil
 	})
+	// Opt-in only (-exp decompose): re-runs the Figure 6 batch with span
+	// recorders to print the per-phase miss-latency decomposition.
+	if code == 0 && *exp == "decompose" {
+		start := time.Now()
+		rows, err := pimdsm.Decompose(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decompose:", err)
+			return 1
+		}
+		fmt.Print(pimdsm.FormatDecompose(rows))
+		fmt.Printf("[decompose regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
 
 	if code == 0 {
 		if err := writeObservers(opt, *tracePath, *metricsOut); err != nil {

@@ -1,13 +1,16 @@
-// Command pimdsm is the simulator's introspection toolbox. Its first (and so
-// far only) command group works with compact binary traces recorded by
-// `aggsim -trace-bin`:
+// Command pimdsm is the simulator's introspection toolbox. Its command
+// groups work with the compact binary artifacts the simulators record:
 //
 //	pimdsm trace dump f.bin [-kind read] [-node 3] [-limit 100]
 //	pimdsm trace convert f.bin f.json
+//	pimdsm spans dump f.bin [-limit 100]
 //
-// `dump` pretty-prints events in sim-time order with per-kind totals;
-// `convert` rewrites a binary trace as Chrome trace_event JSON (loadable in
-// chrome://tracing or https://ui.perfetto.dev).
+// `trace dump` pretty-prints events recorded by `aggsim -trace-bin` in
+// sim-time order with per-kind totals; `trace convert` rewrites a binary
+// trace as Chrome trace_event JSON (loadable in chrome://tracing or
+// https://ui.perfetto.dev). `spans dump` prints the per-phase miss-latency
+// breakdown and the retained transaction spans of a PDS1 file recorded by
+// `aggsim -spans-out`.
 package main
 
 import (
@@ -30,6 +33,8 @@ func realMain(args []string) int {
 	switch args[0] {
 	case "trace":
 		return traceCmd(args[1:])
+	case "spans":
+		return spansCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
 		usage()
@@ -40,6 +45,7 @@ func realMain(args []string) int {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: pimdsm trace dump <f.bin> [-kind k] [-node n] [-limit n]")
 	fmt.Fprintln(os.Stderr, "       pimdsm trace convert <f.bin> <f.json>")
+	fmt.Fprintln(os.Stderr, "       pimdsm spans dump <f.bin> [-limit n]")
 }
 
 func traceCmd(args []string) int {
@@ -167,6 +173,75 @@ func traceConvert(args []string) int {
 		return 1
 	}
 	fmt.Printf("%d events -> %s\n", len(events), args[1])
+	return 0
+}
+
+func spansCmd(args []string) int {
+	if len(args) < 1 || args[0] != "dump" {
+		usage()
+		return 2
+	}
+	return spansDump(args[1:])
+}
+
+func spansDump(args []string) int {
+	fs := flag.NewFlagSet("spans dump", flag.ContinueOnError)
+	limit := fs.Int("limit", 16, "print at most this many retained spans (0 = all)")
+	// Accept the file before or after the flags, like trace dump.
+	var path string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "pimdsm spans dump: need a spans file")
+		return 2
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	s, err := obs.ReadSpansBinary(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	fmt.Printf("%d transactions retired, %d bad\n", s.Retired(), s.Bad())
+	s.WriteBreakdown(os.Stdout)
+
+	kept := s.Kept()
+	if *limit > 0 && len(kept) > *limit {
+		kept = kept[len(kept)-*limit:]
+	}
+	if len(kept) == 0 {
+		return 0
+	}
+	fmt.Printf("\nretained spans (most recent %d):\n", len(kept))
+	fmt.Printf("%10s %6s %2s %-6s %12s %8s %8s", "id", "node", "rw", "class", "addr", "start", "latency")
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println()
+	for i := range kept {
+		sp := &kept[i]
+		rw := "r"
+		if sp.Write {
+			rw = "w"
+		}
+		fmt.Printf("%10d %6d %2s %-6s %#12x %8d %8d", sp.ID, sp.Node, rw, sp.Class, sp.Addr, sp.Start, sp.Latency())
+		for _, v := range sp.Phases {
+			fmt.Printf(" %9d", v)
+		}
+		fmt.Println()
+	}
 	return 0
 }
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimdsm/internal/obs"
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() int) (int, string) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	code := fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+// sampleTrace builds a small deterministic trace with several event kinds.
+func sampleTrace() *obs.Trace {
+	tr := obs.NewTrace(64)
+	tr.Emit(obs.EvRunStart, 0, 0, -1, 16, 2)
+	tr.Emit(obs.EvRead, 100, 298, 3, 0x1000, 3)
+	tr.Emit(obs.EvWrite, 500, 383, 5, 0x2080, 4)
+	tr.Emit(obs.EvInval, 600, 0, 7, 0x2080, 0)
+	tr.Emit(obs.EvMsg, 700, 74, 5, 9, 2<<32|144)
+	tr.Emit(obs.EvPageout, 900, 0, 33, 0x4000, 12)
+	return tr
+}
+
+// TestTraceDumpConvertRoundTrip drives the CLI end to end: a PDT1 file is
+// dumped (every event visible, per-kind totals correct) and converted to
+// Chrome JSON that is byte-identical to exporting the original events —
+// the binary format loses nothing.
+func TestTraceDumpConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "t.bin")
+	tr := sampleTrace()
+	f, err := os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The binary file reads back as the identical event sequence.
+	rf, err := os.Open(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, total, err := obs.ReadBinary(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != tr.Total() || len(events) != tr.Len() {
+		t.Fatalf("read %d/%d events, want %d/%d", len(events), total, tr.Len(), tr.Total())
+	}
+	orig := tr.Events()
+	for i := range orig {
+		if events[i] != orig[i] {
+			t.Fatalf("event %d differs after binary round trip: %+v vs %+v", i, events[i], orig[i])
+		}
+	}
+
+	code, out := capture(t, func() int { return realMain([]string{"trace", "dump", bin}) })
+	if code != 0 {
+		t.Fatalf("trace dump exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"run-start", "read", "write", "inval", "msg", "pageout", "6 events held"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace dump output missing %q:\n%s", want, out)
+		}
+	}
+
+	jsonPath := filepath.Join(dir, "t.json")
+	code, out = capture(t, func() int { return realMain([]string{"trace", "convert", bin, jsonPath}) })
+	if code != 0 {
+		t.Fatalf("trace convert exited %d:\n%s", code, out)
+	}
+	got, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct bytes.Buffer
+	if err := obs.WriteChromeJSONEvents(&direct, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct.Bytes()) {
+		t.Fatalf("converted JSON differs from direct export:\n%s\nvs\n%s", got, direct.Bytes())
+	}
+	if !json.Valid(got) {
+		t.Fatalf("converted JSON invalid:\n%s", got)
+	}
+}
+
+// TestSpansDumpCLI: a PDS1 file written by the recorder prints its breakdown
+// and retained spans through `pimdsm spans dump`.
+func TestSpansDumpCLI(t *testing.T) {
+	s := obs.NewSpans(8)
+	s.Begin(100, 3, 0x1000, false)
+	s.Mark(obs.PhaseNetRequest, 150)
+	s.Mark(obs.PhaseDirOcc, 220)
+	s.Mark(obs.PhaseNetReply, 300)
+	s.End(340, proto.Lat2Hop)
+	s.Begin(400, 5, 0x2000, true)
+	s.End(sim.Time(440), proto.LatMem)
+
+	path := filepath.Join(t.TempDir(), "s.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out := capture(t, func() int { return realMain([]string{"spans", "dump", path}) })
+	if code != 0 {
+		t.Fatalf("spans dump exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"2 transactions retired, 0 bad", "dir-occ", "2Hop", "retained spans", "0x1000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans dump output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIUsageErrors: unknown commands and missing files exit nonzero.
+func TestCLIUsageErrors(t *testing.T) {
+	if code, _ := capture(t, func() int { return realMain(nil) }); code != 2 {
+		t.Errorf("no args exited %d, want 2", code)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"bogus"}) }); code != 2 {
+		t.Errorf("unknown command exited %d, want 2", code)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"spans", "dump", "/no/such/file"}) }); code != 1 {
+		t.Errorf("missing spans file exited %d, want 1", code)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"trace", "dump", "/no/such/file"}) }); code != 1 {
+		t.Errorf("missing trace file exited %d, want 1", code)
+	}
+}

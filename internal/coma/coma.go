@@ -102,6 +102,11 @@ type Machine struct {
 	allNodes []int
 	st       stats.Machine
 	trace    *obs.Trace
+	spans    *obs.Spans
+
+	audit       bool
+	auditViol   uint64
+	auditSample []string
 }
 
 // New builds a COMA machine.
@@ -125,6 +130,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg:   cfg,
 		net:   net,
 		trace: obs.Nop(),
+		spans: obs.NopSpans(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.am = make([]*cache.LocalMemory, cfg.Nodes)
@@ -177,6 +183,69 @@ func (m *Machine) SetTrace(t *obs.Trace) {
 	m.net.SetTrace(t)
 }
 
+// SetSpans routes transaction-span phase marks to s (nil disables), on the
+// machine and its mesh.
+func (m *Machine) SetSpans(s *obs.Spans) {
+	if s == nil {
+		s = obs.NopSpans()
+	}
+	m.spans = s
+	m.net.SetSpans(s)
+}
+
+// SetAudit enables the per-transaction coherence audit of the accessed
+// line's directory entry and master copy. Read-only: results stay
+// bit-identical.
+func (m *Machine) SetAudit(on bool) { m.audit = on }
+
+// AuditReport returns the violation count and bounded diagnostics.
+func (m *Machine) AuditReport() (uint64, []string) { return m.auditViol, m.auditSample }
+
+const maxAuditSamples = 8
+
+func (m *Machine) auditFail(format string, args ...any) {
+	m.auditViol++
+	if len(m.auditSample) < maxAuditSamples {
+		m.auditSample = append(m.auditSample, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditAccess checks the flat-directory invariants for the accessed line:
+// exactly one master whose attraction memory really holds the line in the
+// owning state, membership of the master in the sharer vector, and no
+// residual master once a line is swapped out.
+func (m *Machine) auditAccess(addr uint64) {
+	line := m.alignLine(addr)
+	e, ok := m.dir.Get(line)
+	if !ok {
+		m.auditFail("line %#x: no directory entry after access", line)
+		return
+	}
+	switch e.state {
+	case dirUnfetched, dirSwapped:
+		if e.master != -1 {
+			m.auditFail("line %#x in state %d retains master %d", line, e.state, e.master)
+		}
+	case dirShared, dirDirty:
+		if e.master < 0 || int(e.master) >= m.cfg.Nodes {
+			m.auditFail("line %#x has invalid master %d", line, e.master)
+			return
+		}
+		want := cache.SharedMaster
+		if e.state == dirDirty {
+			want = cache.Dirty
+		}
+		if st, hit, _ := m.am[e.master].Lookup(line); !hit || st != want {
+			m.auditFail("line %#x: master %d holds %v (hit=%v), want %v", line, e.master, st, hit, want)
+		}
+		if !e.sharers.Contains(int(e.master)) {
+			m.auditFail("line %#x: master %d missing from sharer vector", line, e.master)
+		}
+	default:
+		m.auditFail("line %#x in unknown directory state %d", line, e.state)
+	}
+}
+
 // AMOf exposes a node's attraction memory for tests.
 func (m *Machine) AMOf(n int) *cache.LocalMemory { return m.am[n] }
 
@@ -218,7 +287,16 @@ func hopClass(p, home, supplier int) proto.LatClass {
 
 // Access services a load or store by node p at time now.
 func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	if m.spans.On() {
+		m.spans.Begin(now, int32(p), m.alignLine(addr), write)
+	}
 	done, class := m.access(now, p, addr, write)
+	if m.spans.On() {
+		m.spans.End(done, class)
+	}
+	if m.audit {
+		m.auditAccess(addr)
+	}
 	if write {
 		m.st.Write(class, done-now)
 	} else {
@@ -270,6 +348,9 @@ func (m *Machine) access(now sim.Time, p int, addr uint64, write bool) (sim.Time
 func (m *Machine) dirAt(t sim.Time, p, home int, occ sim.Time) sim.Time {
 	if home != p {
 		t = m.net.Send(t, p, home, m.net.ControlBytes())
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetRequest, t)
+		}
 	}
 	return m.hproc[home].Acquire(t, occ)
 }
@@ -277,6 +358,9 @@ func (m *Machine) dirAt(t sim.Time, p, home int, occ sim.Time) sim.Time {
 func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dirEntry) (sim.Time, proto.LatClass) {
 	data := m.net.DataBytes(m.cfg.LineBytes)
 	ctrl := m.net.ControlBytes()
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseIssue, reqT)
+	}
 	hs := m.dirAt(reqT, p, home, m.cfg.Costs.ReadOcc)
 
 	var done sim.Time
@@ -288,6 +372,9 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 		// Zero-fill from the home's memory controller; the first toucher
 		// becomes the master.
 		m.bank[home].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+		}
 		done = m.net.Send(hs+m.cfg.Costs.ReadLat, home, p, data)
 		e.state = dirShared
 		e.master = int32(p)
@@ -296,6 +383,9 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 	case dirSwapped:
 		// The line was swapped out after an injection overflow.
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, ds+m.cfg.Timing.DiskLat)
+		}
 		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
 		m.st.DiskFaults++
 		if m.trace.On() {
@@ -314,11 +404,20 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 		var at sim.Time
 		if q == home {
 			at = hs
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, hs)
+			}
 		} else {
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+			}
 			at = m.net.Send(hs+m.cfg.Costs.ReadLat, home, q, ctrl)
 		}
 		qs := m.bank[q].Acquire(at, m.cfg.Timing.MemBankOcc)
 		sendT := qs + m.amLat(q, line)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, sendT)
+		}
 		done = m.net.Send(sendT, q, p, data)
 		if e.state == dirDirty {
 			// Master downgrades but keeps mastership (flat COMA: no copy
@@ -329,6 +428,9 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 		}
 		e.sharers.Add(p)
 		fillState = cache.Shared
+	}
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetReply, done)
 	}
 	class := hopClass(p, home, supplier)
 	m.fill(done, p, addr, fillState, false, supplier)
@@ -341,6 +443,9 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 
 	targets := e.sharers.Targets(nil, m.allNodes, p)
 	occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseIssue, reqT)
+	}
 	hs := m.dirAt(reqT, p, home, occ)
 	replyT := hs + m.cfg.Costs.ReadExLat
 
@@ -350,9 +455,15 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 	switch {
 	case e.state == dirUnfetched:
 		m.bank[home].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, replyT)
+		}
 		done = m.net.Send(replyT, home, p, data)
 	case e.state == dirSwapped:
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, ds+m.cfg.Timing.DiskLat)
+		}
 		done = m.net.Send(ds+m.cfg.Timing.DiskLat, home, p, data)
 		m.st.DiskFaults++
 		if m.trace.On() {
@@ -360,6 +471,9 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		}
 	case upgrade:
 		// p holds a readable (non-master) copy; ownership grant only.
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, replyT)
+		}
 		done = m.net.Send(replyT, home, p, ctrl)
 		m.st.Upgrades++
 		if m.trace.On() {
@@ -374,11 +488,26 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		var at sim.Time
 		if q == home {
 			at = hs
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, hs)
+			}
 		} else {
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, replyT)
+			}
 			at = m.net.Send(replyT, home, q, ctrl)
 		}
 		qs := m.bank[q].Acquire(at, m.cfg.Timing.MemBankOcc)
-		done = m.net.Send(qs+m.amLat(q, line), q, p, data)
+		sendT := qs + m.amLat(q, line)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, sendT)
+		}
+		done = m.net.Send(sendT, q, p, data)
+	}
+	// The data/grant reply ends here; the invalidation-ack collection below
+	// only extends done, and that tail retires the span.
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetReply, done)
 	}
 
 	// Invalidate every other copy; acks race the data to the requester.

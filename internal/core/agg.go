@@ -110,6 +110,11 @@ type Machine struct {
 
 	st    stats.Machine
 	trace *obs.Trace
+	spans *obs.Spans
+
+	audit       bool
+	auditViol   uint64
+	auditSample []string
 }
 
 // New builds an AGG machine.
@@ -133,6 +138,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg:   cfg,
 		net:   net,
 		trace: obs.Nop(),
+		spans: obs.NopSpans(),
 	}
 	m.pMesh, m.dMesh = Placement(total, cfg.PNodes, cfg.DNodes)
 	m.caches = make([]*proto.CacheSet, cfg.PNodes)
@@ -229,6 +235,97 @@ func (m *Machine) SetTrace(t *obs.Trace) {
 	m.net.SetTrace(t)
 }
 
+// SetSpans routes transaction-span phase marks to s (nil disables), on the
+// machine and its mesh. Spans are record-only: timing never reads them.
+func (m *Machine) SetSpans(s *obs.Spans) {
+	if s == nil {
+		s = obs.NopSpans()
+	}
+	m.spans = s
+	m.net.SetSpans(s)
+}
+
+// SetAudit enables the per-transaction coherence audit: after every access
+// retires, the accessed line's directory entry is checked against the
+// protocol invariants and the owning P-node's ground-truth memory state.
+// The audit only reads (cache lookups are the non-mutating variants), so
+// results stay bit-identical with auditing on.
+func (m *Machine) SetAudit(on bool) { m.audit = on }
+
+// AuditReport returns the violation count and up to maxAuditSamples
+// diagnostics collected since the machine was built.
+func (m *Machine) AuditReport() (uint64, []string) { return m.auditViol, m.auditSample }
+
+// maxAuditSamples bounds the diagnostic strings kept by the auditors.
+const maxAuditSamples = 8
+
+func (m *Machine) auditFail(format string, args ...any) {
+	m.auditViol++
+	if len(m.auditSample) < maxAuditSamples {
+		m.auditSample = append(m.auditSample, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditAccess validates the accessed line's directory entry after a
+// transaction. A nil entry is legal: a victim write-back inside the
+// transaction can page out the accessed line's own page (pageout only
+// protects the victim's page).
+func (m *Machine) auditAccess(addr uint64) {
+	line := m.alignLine(addr)
+	d, ok := m.homes.Get(m.pageOf(line))
+	if !ok {
+		m.auditFail("line %#x: no home assigned after access", line)
+		return
+	}
+	dm := m.dmem[d]
+	e := dm.Entry(line)
+	if e == nil {
+		if !dm.PageOnDisk(m.pageOf(line)) {
+			m.auditFail("line %#x: unmapped at home D%d but not on disk", line, d)
+		}
+		return
+	}
+	switch e.State {
+	case DirDirty:
+		if e.Master == HomeMaster || int(e.Master) >= m.cfg.PNodes {
+			m.auditFail("dirty line %#x has no valid owner (master %d)", line, e.Master)
+			break
+		}
+		if !e.Sharers.Empty() {
+			m.auditFail("dirty line %#x has sharers recorded", line)
+		}
+		if st, hit, _ := m.pmem[e.Master].Lookup(line); !hit || st != cache.Dirty {
+			m.auditFail("dirty line %#x: owner P%d holds %v (hit=%v), want Dirty", line, e.Master, st, hit)
+		}
+	case DirShared:
+		if e.Master == HomeMaster {
+			if !e.HasCopy() {
+				m.auditFail("shared line %#x mastered at home without a home copy", line)
+			}
+		} else {
+			if st, hit, _ := m.pmem[e.Master].Lookup(line); !hit || st != cache.SharedMaster {
+				m.auditFail("shared line %#x: master P%d holds %v (hit=%v), want SharedMaster", line, e.Master, st, hit)
+			}
+			if !e.Sharers.Contains(int(e.Master)) {
+				m.auditFail("shared line %#x: master P%d missing from sharer vector", line, e.Master)
+			}
+		}
+	case DirHome:
+		if e.Master != HomeMaster {
+			m.auditFail("home-state line %#x claims master %d", line, e.Master)
+		}
+		if e.Unfetched && e.HasCopy() {
+			m.auditFail("unfetched line %#x holds a Data slot", line)
+		}
+	}
+	if err := dm.AuditEntry(e); err != nil {
+		m.auditFail("line %#x at D%d: %v", line, d, err)
+	}
+	if err := dm.AuditFreeList(); err != nil {
+		m.auditFail("D%d: %v", d, err)
+	}
+}
+
 // dnode is the trace node ID of D-node d (P-nodes occupy 0..PNodes-1).
 func (m *Machine) dnode(d int) int32 { return int32(m.cfg.PNodes + d) }
 
@@ -278,7 +375,16 @@ func (m *Machine) ownerLat(p int, line uint64) sim.Time {
 // the whole machine is updated atomically; timing flows through the
 // contended resources (mesh links, D-node processors, DRAM interfaces).
 func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	if m.spans.On() {
+		m.spans.Begin(now, int32(p), m.alignLine(addr), write)
+	}
 	done, class := m.access(now, p, addr, write)
+	if m.spans.On() {
+		m.spans.End(done, class)
+	}
+	if m.audit {
+		m.auditAccess(addr)
+	}
 	if write {
 		m.st.Write(class, done-now)
 	} else {
@@ -336,7 +442,13 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 	line := m.alignLine(addr)
 	ctrl := m.net.ControlBytes()
 	data := m.net.DataBytes(m.cfg.LineBytes)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseIssue, reqT)
+	}
 	arrive := m.net.Send(reqT, m.pMesh[p], m.dMesh[d], ctrl)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetRequest, arrive)
+	}
 
 	var done sim.Time
 	var class proto.LatClass
@@ -352,11 +464,20 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 			panic("core: read miss by the dirty owner")
 		}
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+		}
 		fwd := m.net.Send(hs+m.cfg.Costs.ReadLat, m.dMesh[d], m.pMesh[owner], ctrl)
 		lat := m.ownerLat(owner, line)
 		ms := m.pbank[owner].Acquire(fwd, m.cfg.Timing.MemBankOcc)
 		sendT := ms + lat
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, sendT)
+		}
 		done = m.net.Send(sendT, m.pMesh[owner], m.pMesh[p], data)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetReply, done)
+		}
 		// Sharing write-back: the home regains an up-to-date copy ("its
 		// memory contains, in most of the cases, an up-to-date copy of all
 		// the lines ... that are not owned by any P-node", §2.2). The copy
@@ -382,7 +503,13 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 			// 2-hop reply from the home's Data array.
 			hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
 			m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+			}
 			done = m.net.Send(hs+m.cfg.Costs.ReadLat, m.dMesh[d], m.pMesh[p], data)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseNetReply, done)
+			}
 			if e.Master == HomeMaster {
 				// Hand mastership out so the home copy becomes droppable
 				// ("we give out mastership", §2.2.2).
@@ -402,10 +529,19 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 				panic("core: shared line without home copy has no remote master")
 			}
 			hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+			}
 			fwd := m.net.Send(hs+m.cfg.Costs.ReadLat, m.dMesh[d], m.pMesh[master], ctrl)
 			lat := m.ownerLat(master, line)
 			ms := m.pbank[master].Acquire(fwd, m.cfg.Timing.MemBankOcc)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseOwnerFetch, ms+lat)
+			}
 			done = m.net.Send(ms+lat, m.pMesh[master], m.pMesh[p], data)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseNetReply, done)
+			}
 			e.Sharers.Add(p)
 			// Re-acquire an optional home copy ("we try to keep shared
 			// lines in the home most of the time", §2.2.2).
@@ -433,7 +569,13 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		var stored bool
 		t, stored = m.ensureSlot(t, d, e)
 		m.dbank[d].Acquire(t, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, t+m.cfg.Costs.ReadLat)
+		}
 		done = m.net.Send(t+m.cfg.Costs.ReadLat, m.dMesh[d], m.pMesh[p], data)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetReply, done)
+		}
 		e.State = DirShared
 		e.Master = int32(p)
 		e.Sharers.Add(p)
@@ -457,7 +599,13 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 	line := m.alignLine(addr)
 	ctrl := m.net.ControlBytes()
 	data := m.net.DataBytes(m.cfg.LineBytes)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseIssue, reqT)
+	}
 	arrive := m.net.Send(reqT, m.pMesh[p], m.dMesh[d], ctrl)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetRequest, arrive)
+	}
 
 	var done sim.Time
 	var class proto.LatClass
@@ -470,11 +618,20 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 			panic("core: write miss by the dirty owner")
 		}
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadExOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadExLat)
+		}
 		fwd := m.net.Send(hs+m.cfg.Costs.ReadExLat, m.dMesh[d], m.pMesh[owner], ctrl)
 		lat := m.ownerLat(owner, line)
 		ms := m.pbank[owner].Acquire(fwd, m.cfg.Timing.MemBankOcc)
 		sendT := ms + lat
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, sendT)
+		}
 		done = m.net.Send(sendT, m.pMesh[owner], m.pMesh[p], data)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetReply, done)
+		}
 		ackArr := m.net.Send(sendT, m.pMesh[owner], m.dMesh[d], ctrl)
 		m.dproc[d].Acquire(ackArr, m.cfg.Costs.AckOcc)
 		m.pmem[owner].Invalidate(line)
@@ -491,6 +648,9 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
 		hs := m.dproc[d].Acquire(arrive, occ)
 		replyT := hs + m.cfg.Costs.ReadExLat
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, replyT)
+		}
 
 		// Data (or grant) path first, since it may need the remote master's
 		// memory before that copy is invalidated.
@@ -514,8 +674,16 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 			fwd := m.net.Send(replyT, m.dMesh[d], m.pMesh[master], ctrl)
 			lat := m.ownerLat(master, line)
 			ms := m.pbank[master].Acquire(fwd, m.cfg.Timing.MemBankOcc)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseOwnerFetch, ms+lat)
+			}
 			done = m.net.Send(ms+lat, m.pMesh[master], m.pMesh[p], data)
 			class = proto.Lat3Hop
+		}
+		if m.spans.On() {
+			// The reply (data or grant) ends here; invalidation-ack
+			// collection below extends `done` and lands in retire.
+			m.spans.Mark(obs.PhaseNetReply, done)
 		}
 
 		// Invalidations fan out from the home, staggered by the per-inval
@@ -563,7 +731,13 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		}
 		// Unfetched lines are satisfied by zero-fill: no slot was ever used.
 		e.Unfetched = false
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, t+m.cfg.Costs.ReadExLat)
+		}
 		done = m.net.Send(t+m.cfg.Costs.ReadExLat, m.dMesh[d], m.pMesh[p], data)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetReply, done)
+		}
 		e.State = DirDirty
 		e.Master = int32(p)
 		e.Sharers.Clear()

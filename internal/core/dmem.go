@@ -648,6 +648,61 @@ func (d *DMem) CensusAdd(c *Census) {
 	c.SlotCap += d.dataCap
 }
 
+// AuditEntry checks one directory entry's slot-and-list discipline — the
+// per-transaction slice of CheckInvariants the coherence auditor runs at
+// span retirement. O(1): a dirty line must hold no Data slot; a held slot's
+// Pointer entry must back-reference the line, must not sit on the FreeList,
+// and must be on the SharedList exactly when mastership is held by a remote
+// P-node (a droppable home copy).
+func (d *DMem) AuditEntry(e *DirEntry) error {
+	if e.State == DirDirty && e.HasCopy() {
+		return fmt.Errorf("dirty line %#x holds Data slot %d", e.Addr, e.LocalPtr)
+	}
+	if !e.HasCopy() {
+		return nil
+	}
+	p := &d.ptrs[e.LocalPtr]
+	if !p.used {
+		return fmt.Errorf("line %#x points at unused slot %d", e.Addr, e.LocalPtr)
+	}
+	if p.line != e.Addr {
+		return fmt.Errorf("slot %d back-pointer %#x does not match line %#x", e.LocalPtr, p.line, e.Addr)
+	}
+	if p.list == listFree {
+		return fmt.Errorf("line %#x holds slot %d that dangles on the FreeList", e.Addr, e.LocalPtr)
+	}
+	wantShared := e.State == DirShared && e.Master != HomeMaster
+	if got := p.list == listShared; got != wantShared {
+		return fmt.Errorf("line %#x (state %v, master %d): slot %d SharedList membership %v, want %v",
+			e.Addr, e.State, e.Master, e.LocalPtr, got, wantShared)
+	}
+	return nil
+}
+
+// AuditFreeList is the O(1) FreeList sanity check run at span retirement:
+// the head must agree with the length accounting, carry the FreeList tag,
+// and reference an unused slot (a used slot reachable from the FreeList is
+// the "dangling FreeList entry" corruption).
+func (d *DMem) AuditFreeList() error {
+	if (d.freeHead == nilPtr) != (d.freeLen == 0) {
+		return fmt.Errorf("FreeList head %d disagrees with length %d", d.freeHead, d.freeLen)
+	}
+	if d.freeHead == nilPtr {
+		return nil
+	}
+	p := &d.ptrs[d.freeHead]
+	if p.list != listFree {
+		return fmt.Errorf("FreeList head %d tagged %d, not FreeList", d.freeHead, p.list)
+	}
+	if p.used {
+		return fmt.Errorf("dangling FreeList entry: head slot %d is in use by line %#x", d.freeHead, p.line)
+	}
+	if p.prev != nilPtr {
+		return fmt.Errorf("FreeList head %d has predecessor %d", d.freeHead, p.prev)
+	}
+	return nil
+}
+
 // CheckInvariants verifies the Directory/Data/Pointer cross-links and list
 // accounting. It is exercised by tests and property checks.
 func (d *DMem) CheckInvariants() error {

@@ -75,6 +75,15 @@ type Config struct {
 	// PhaseProgress, when non-nil, is called each time the last thread
 	// crosses a phase marker — a coarse live-progress hook for long runs.
 	PhaseProgress func(phase int, at sim.Time)
+
+	// Spans, when non-nil, receives one transaction span per memory access
+	// that leaves a processor node, with per-phase cycle attribution. Like
+	// Trace, it is record-only: results are bit-identical with it on or off.
+	Spans *obs.Spans
+	// Audit walks the coherence state touched by each transaction at span
+	// retirement and counts protocol-invariant violations (reported in
+	// Result.AuditViolations). Read-only, so timing is unaffected.
+	Audit bool
 }
 
 // Result is everything a run measures. All engine-level counters are
@@ -114,6 +123,12 @@ type Result struct {
 	PMemBytes   uint64
 	DMemLines   int
 	EffPressure float64
+
+	// AuditViolations counts coherence-invariant violations found by the
+	// per-transaction auditor (Config.Audit); AuditSamples holds the first
+	// few diagnostics.
+	AuditViolations uint64
+	AuditSamples    []string
 }
 
 type engine interface {
@@ -122,6 +137,9 @@ type engine interface {
 	Mesh() *mesh.Mesh
 	LineBytes() uint64
 	SetTrace(*obs.Trace)
+	SetSpans(*obs.Spans)
+	SetAudit(bool)
+	AuditReport() (uint64, []string)
 }
 
 // roundLines rounds a byte capacity down to a whole number of assoc-way
@@ -255,6 +273,8 @@ func Run(cfg Config) (*Result, error) {
 		tr = obs.Nop()
 	}
 	eng.SetTrace(tr)
+	eng.SetSpans(cfg.Spans)
+	eng.SetAudit(cfg.Audit)
 	if tr.On() {
 		tr.Emit(obs.EvRunStart, 0, 0, -1, uint64(cfg.Threads), uint64(sz.DNodes))
 	}
@@ -346,6 +366,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Metrics != nil {
 		collectMetrics(cfg.Metrics, res)
+	}
+	if cfg.Audit {
+		res.AuditViolations, res.AuditSamples = eng.AuditReport()
 	}
 	if aggM != nil {
 		res.Census = aggM.CensusTotal()

@@ -71,6 +71,7 @@ type Mesh struct {
 	links []sim.Resource
 	stats Stats
 	trace *obs.Trace
+	spans *obs.Spans
 }
 
 // Link directions.
@@ -93,6 +94,7 @@ func New(cfg Config) (*Mesh, error) {
 		cfg:   cfg,
 		links: make([]sim.Resource, cfg.Width*cfg.Height*4),
 		trace: obs.Nop(),
+		spans: obs.NopSpans(),
 	}, nil
 }
 
@@ -102,6 +104,16 @@ func (m *Mesh) SetTrace(t *obs.Trace) {
 		t = obs.Nop()
 	}
 	m.trace = t
+}
+
+// SetSpans routes link-queueing attribution to s: while a transaction span
+// is open, queueing suffered by any message overlaps the span's lifetime and
+// is accumulated as its Queued diagnostic. Nil disables.
+func (m *Mesh) SetSpans(s *obs.Spans) {
+	if s == nil {
+		s = obs.NopSpans()
+	}
+	m.spans = s
 }
 
 // MustNew is New, panicking on error.
@@ -180,6 +192,9 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 		}
 		start := m.links[(m.NodeAt(x, y)*4)+dir].Acquire(t, ser)
 		m.stats.Queued += start - t
+		if m.spans.On() {
+			m.spans.AddQueued(start - t)
+		}
 		t = start + m.cfg.RouterDelay
 		x = nx
 		hops++
@@ -193,6 +208,9 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 		}
 		start := m.links[(m.NodeAt(x, y)*4)+dir].Acquire(t, ser)
 		m.stats.Queued += start - t
+		if m.spans.On() {
+			m.spans.AddQueued(start - t)
+		}
 		t = start + m.cfg.RouterDelay
 		y = ny
 		hops++

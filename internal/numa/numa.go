@@ -93,6 +93,11 @@ type Machine struct {
 	allNodes []int
 	st       stats.Machine
 	trace    *obs.Trace
+	spans    *obs.Spans
+
+	audit       bool
+	auditViol   uint64
+	auditSample []string
 }
 
 // New builds a NUMA machine.
@@ -116,6 +121,7 @@ func New(cfg Config) (*Machine, error) {
 		cfg:   cfg,
 		net:   net,
 		trace: obs.Nop(),
+		spans: obs.NopSpans(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.onchip = make([]*cache.SetAssoc, cfg.Nodes)
@@ -158,6 +164,68 @@ func (m *Machine) SetTrace(t *obs.Trace) {
 	m.net.SetTrace(t)
 }
 
+// SetSpans routes transaction-span phase marks to s (nil disables), on the
+// machine and its mesh.
+func (m *Machine) SetSpans(s *obs.Spans) {
+	if s == nil {
+		s = obs.NopSpans()
+	}
+	m.spans = s
+	m.net.SetSpans(s)
+}
+
+// SetAudit enables the per-transaction coherence audit of the accessed
+// line's directory entry. Read-only: results stay bit-identical.
+func (m *Machine) SetAudit(on bool) { m.audit = on }
+
+// AuditReport returns the violation count and bounded diagnostics.
+func (m *Machine) AuditReport() (uint64, []string) { return m.auditViol, m.auditSample }
+
+const maxAuditSamples = 8
+
+func (m *Machine) auditFail(format string, args ...any) {
+	m.auditViol++
+	if len(m.auditSample) < maxAuditSamples {
+		m.auditSample = append(m.auditSample, fmt.Sprintf(format, args...))
+	}
+}
+
+// auditAccess checks the accessed line's home directory entry against the
+// protocol invariants. The dirty owner's caches are deliberately not
+// cross-checked: after a partial L2 eviction the home frame is
+// authoritative while the directory still records an owner (the degenerate
+// case remoteRead folds into clean-at-home).
+func (m *Machine) auditAccess(addr uint64) {
+	line := m.alignLine(addr)
+	e, ok := m.dir.Get(line)
+	if !ok {
+		m.auditFail("line %#x: no directory entry after access", line)
+		return
+	}
+	switch e.state {
+	case dirDirty:
+		if e.owner < 0 || int(e.owner) >= m.cfg.Nodes {
+			m.auditFail("dirty line %#x has invalid owner %d", line, e.owner)
+		}
+		if !e.sharers.Empty() {
+			m.auditFail("dirty line %#x has sharers recorded", line)
+		}
+	case dirShared:
+		if e.owner != -1 {
+			m.auditFail("shared line %#x records owner %d", line, e.owner)
+		}
+		if e.sharers.Empty() {
+			m.auditFail("shared line %#x has no sharers", line)
+		}
+	case dirHome:
+		if e.owner != -1 || !e.sharers.Empty() {
+			m.auditFail("idle line %#x retains owner %d or sharers", line, e.owner)
+		}
+	default:
+		m.auditFail("line %#x in unknown directory state %d", line, e.state)
+	}
+}
+
 func (m *Machine) alignLine(addr uint64) uint64 { return addr &^ (m.cfg.LineBytes - 1) }
 func (m *Machine) pageOf(addr uint64) uint64    { return addr &^ (m.cfg.PageBytes - 1) }
 
@@ -195,7 +263,16 @@ func (m *Machine) memLat(n int, line uint64) sim.Time {
 
 // Access services a load or store by node p at time now.
 func (m *Machine) Access(now sim.Time, p int, addr uint64, write bool) (sim.Time, proto.LatClass) {
+	if m.spans.On() {
+		m.spans.Begin(now, int32(p), m.alignLine(addr), write)
+	}
 	done, class := m.access(now, p, addr, write)
+	if m.spans.On() {
+		m.spans.End(done, class)
+	}
+	if m.audit {
+		m.auditAccess(addr)
+	}
 	if write {
 		m.st.Write(class, done-now)
 	} else {
@@ -246,7 +323,14 @@ func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntr
 			q := int(e.owner)
 			rq := m.net.Send(now, p, q, ctrl)
 			qs := m.bank[q].Acquire(rq, m.cfg.Timing.MemBankOcc)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseNetRequest, rq)
+				m.spans.Mark(obs.PhaseOwnerFetch, qs+m.cfg.Timing.L2Lat)
+			}
 			done := m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
+			if m.spans.On() {
+				m.spans.Mark(obs.PhaseNetReply, done)
+			}
 			m.caches[q].DowngradeMemLine(line)
 			m.bank[p].Acquire(done, m.cfg.Timing.MemBankOcc) // home memory update
 			e.state = dirShared
@@ -275,7 +359,14 @@ func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntr
 		q := int(e.owner)
 		rq := m.net.Send(now, p, q, ctrl)
 		qs := m.bank[q].Acquire(rq, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetRequest, rq)
+			m.spans.Mark(obs.PhaseOwnerFetch, qs+m.cfg.Timing.L2Lat)
+		}
 		done := m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseNetReply, done)
+		}
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
 		if m.trace.On() {
@@ -288,6 +379,10 @@ func (m *Machine) localAccess(now sim.Time, p int, addr, line uint64, e *dirEntr
 	default:
 		bs := m.bank[p].Acquire(now, m.cfg.Timing.MemBankOcc)
 		done := bs + m.memLat(p, line)
+		if m.spans.On() {
+			// Memory access is issue-side work; the ack wait below retires.
+			m.spans.Mark(obs.PhaseIssue, done)
+		}
 		// Invalidate remote sharers; their acks bound completion.
 		for _, q := range e.sharers.Targets(nil, m.allNodes, p) {
 			iv := m.net.Send(now, p, q, ctrl)
@@ -313,6 +408,9 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 	ctrl := m.net.ControlBytes()
 	data := m.net.DataBytes(m.cfg.LineBytes)
 	arrive := m.net.Send(now, p, h, ctrl)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetRequest, arrive)
+	}
 	hs := m.hproc[h].Acquire(arrive, m.cfg.Costs.ReadOcc)
 
 	var done sim.Time
@@ -323,6 +421,9 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 		// memory is updated in place.
 		m.caches[h].DowngradeMemLine(line)
 		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+		}
 		done = m.net.Send(hs+m.cfg.Costs.ReadLat, h, p, data)
 		e.state = dirShared
 		e.sharers.Add(h)
@@ -331,9 +432,15 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 		// 3-hop: forward to owner; owner supplies requester and writes the
 		// line back to the home (sharing write-back).
 		q := int(e.owner)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
+		}
 		fwd := m.net.Send(hs+m.cfg.Costs.ReadLat, h, q, ctrl)
 		qs := m.bank[q].Acquire(fwd, m.cfg.Timing.MemBankOcc)
 		sendT := qs + m.cfg.Timing.L2Lat
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, sendT)
+		}
 		done = m.net.Send(sendT, q, p, data)
 		wb := m.net.Send(sendT, q, h, data)
 		ws := m.hproc[h].Acquire(wb, m.cfg.Costs.AckOcc)
@@ -348,6 +455,9 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 		// again). Directory access is overlapped with the memory access.
 		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
 		lat := m.memLat(h, line)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseDirOcc, hs+maxTime(m.cfg.Costs.ReadLat, lat))
+		}
 		done = m.net.Send(hs+maxTime(m.cfg.Costs.ReadLat, lat), h, p, data)
 		if e.state == dirDirty {
 			e.state = dirShared
@@ -356,6 +466,9 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 			e.state = dirShared
 		}
 		class = proto.Lat2Hop
+	}
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetReply, done)
 	}
 	e.sharers.Add(p)
 	e.owner = -1
@@ -368,11 +481,17 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 	ctrl := m.net.ControlBytes()
 	data := m.net.DataBytes(m.cfg.LineBytes)
 	arrive := m.net.Send(now, p, h, ctrl)
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseNetRequest, arrive)
+	}
 
 	targets := e.sharers.Targets(nil, m.allNodes, p)
 	occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
 	hs := m.hproc[h].Acquire(arrive, occ)
 	replyT := hs + m.cfg.Costs.ReadExLat
+	if m.spans.On() {
+		m.spans.Mark(obs.PhaseDirOcc, replyT)
+	}
 
 	var done sim.Time
 	var class proto.LatClass
@@ -382,6 +501,9 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 		q := int(e.owner)
 		fwd := m.net.Send(replyT, h, q, ctrl)
 		qs := m.bank[q].Acquire(fwd, m.cfg.Timing.MemBankOcc)
+		if m.spans.On() {
+			m.spans.Mark(obs.PhaseOwnerFetch, qs+m.cfg.Timing.L2Lat)
+		}
 		done = m.net.Send(qs+m.cfg.Timing.L2Lat, q, p, data)
 		m.caches[q].InvalidateMemLine(line)
 		m.st.Invalidations++
@@ -409,6 +531,10 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 		m.bank[h].Acquire(hs, m.cfg.Timing.MemBankOcc)
 		done = m.net.Send(replyT, h, p, data)
 		class = proto.Lat2Hop
+	}
+	if m.spans.On() {
+		// The data/grant reply ends here; ack collection below retires.
+		m.spans.Mark(obs.PhaseNetReply, done)
 	}
 	for _, q := range targets {
 		iv := m.net.Send(replyT, h, q, ctrl)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
 )
 
@@ -43,19 +44,41 @@ func writeChromeEvent(w *bufio.Writer, e Event) {
 	switch {
 	case m.counter:
 		// One counter track per node: "free-slots D3".
-		fmt.Fprintf(w, `{"name":"%s D%d","cat":"%s","ph":"C","ts":%.3f,"pid":0,"args":{"free":%d}}`,
-			m.name, e.Node, m.cat, ts, e.Arg)
+		fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"C","ts":%.3f,"pid":0,"args":{"free":%d}}`,
+			jsonString(fmt.Sprintf("%s D%d", m.name, e.Node)), jsonString(m.cat), ts, e.Arg)
 	case m.span:
-		fmt.Fprintf(w, `{"name":"%s","cat":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{`,
-			m.name, m.cat, ts, float64(e.Dur)/1000.0, e.Node)
+		fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{`,
+			jsonString(m.name), jsonString(m.cat), ts, float64(e.Dur)/1000.0, e.Node)
 		writeArgs(w, e)
 		fmt.Fprint(w, `}}`)
 	default:
-		fmt.Fprintf(w, `{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{`,
-			m.name, m.cat, ts, e.Node)
+		fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{`,
+			jsonString(m.name), jsonString(m.cat), ts, e.Node)
 		writeArgs(w, e)
 		fmt.Fprint(w, `}}`)
 	}
+}
+
+// jsonString quotes s as a JSON string. Event names are static today, but
+// the exporter must not emit invalid JSON should one ever carry quotes,
+// backslashes, or control characters (strconv.Quote is close but uses
+// \x escapes JSON does not allow, hence the hand escape).
+func jsonString(s string) string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return string(append(buf, '"'))
 }
 
 // writeArgs renders the kind-specific payload.
@@ -121,6 +144,165 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 		}
 	}
 	return bw.Flush()
+}
+
+// Compact binary span format, the PDT1 analogue for Spans: a 32-byte header,
+// the full aggregate tables, then the kept spans oldest first.
+//
+//	header: magic "PDS1" | version uint16 | phases uint8 | classes uint8 |
+//	        retired uint64 | bad uint64 | kept uint64
+//	table : per (direction, class): count uint64 | queued uint64 |
+//	        phase cycles [phases]uint64
+//	record: ID uint64 | Start uint64 | End uint64 | Addr uint64 |
+//	        Queued uint64 | Phases [phases]uint64 |
+//	        Node uint32 | flags uint8 (bit0 write) | Class uint8 | pad uint16
+const (
+	spanMagic   = "PDS1"
+	spanVersion = 1
+)
+
+// WriteBinary writes the recorder's aggregate tables and kept spans in the
+// compact PDS1 format.
+func (s *Spans) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	kept := s.Kept()
+	var hdr [32]byte
+	copy(hdr[:4], spanMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], spanVersion)
+	hdr[6] = uint8(NumPhases)
+	hdr[7] = uint8(proto.NumLatClasses)
+	binary.LittleEndian.PutUint64(hdr[8:16], s.retired)
+	binary.LittleEndian.PutUint64(hdr[16:24], s.bad)
+	binary.LittleEndian.PutUint64(hdr[24:32], uint64(len(kept)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var u [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(u[:], v)
+		bw.Write(u[:])
+	}
+	for wi := 0; wi < 2; wi++ {
+		for c := 0; c < int(proto.NumLatClasses); c++ {
+			put(s.count[wi][c])
+			put(uint64(s.queued[wi][c]))
+			for p := 0; p < int(NumPhases); p++ {
+				put(uint64(s.agg[wi][c][p]))
+			}
+		}
+	}
+	for i := range kept {
+		sp := &kept[i]
+		put(sp.ID)
+		put(uint64(sp.Start))
+		put(uint64(sp.End))
+		put(sp.Addr)
+		put(uint64(sp.Queued))
+		for p := 0; p < int(NumPhases); p++ {
+			put(uint64(sp.Phases[p]))
+		}
+		var tail [8]byte
+		binary.LittleEndian.PutUint32(tail[0:4], uint32(sp.Node))
+		if sp.Write {
+			tail[4] = 1
+		}
+		tail[5] = uint8(sp.Class)
+		if _, err := bw.Write(tail[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpansBinary parses a PDS1 file into a disabled recorder whose
+// aggregate tables, counters, and keep-ring mirror the writer's, so the
+// breakdown renderers work on loaded files exactly as on live recorders.
+func ReadSpansBinary(r io.Reader) (*Spans, error) {
+	br := bufio.NewReader(r)
+	var hdr [32]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("obs: span header: %w", err)
+	}
+	if string(hdr[:4]) != spanMagic {
+		return nil, fmt.Errorf("obs: not a span file (magic %q)", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != spanVersion {
+		return nil, fmt.Errorf("obs: unsupported span version %d", v)
+	}
+	if hdr[6] != uint8(NumPhases) || hdr[7] != uint8(proto.NumLatClasses) {
+		return nil, fmt.Errorf("obs: span file has %d phases / %d classes, this build expects %d / %d",
+			hdr[6], hdr[7], NumPhases, proto.NumLatClasses)
+	}
+	s := &Spans{
+		retired: binary.LittleEndian.Uint64(hdr[8:16]),
+		bad:     binary.LittleEndian.Uint64(hdr[16:24]),
+	}
+	kept := binary.LittleEndian.Uint64(hdr[24:32])
+	if kept > (1 << 32) {
+		return nil, fmt.Errorf("obs: implausible kept-span count %d", kept)
+	}
+	var u [8]byte
+	get := func() (uint64, error) {
+		if _, err := io.ReadFull(br, u[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(u[:]), nil
+	}
+	var err error
+	read := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = get()
+		return v
+	}
+	for w := 0; w < 2; w++ {
+		for c := 0; c < int(proto.NumLatClasses); c++ {
+			s.count[w][c] = read()
+			s.queued[w][c] = sim.Time(read())
+			for p := 0; p < int(NumPhases); p++ {
+				s.agg[w][c][p] = sim.Time(read())
+			}
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("obs: span aggregate table: %w", err)
+	}
+	capN := 1
+	for uint64(capN) < kept {
+		capN <<= 1
+	}
+	s.keep = make([]Span, capN)
+	s.keepMask = uint64(capN - 1)
+	for i := uint64(0); i < kept; i++ {
+		sp := Span{
+			ID:     read(),
+			Start:  sim.Time(read()),
+			End:    sim.Time(read()),
+			Addr:   read(),
+			Queued: sim.Time(read()),
+		}
+		for p := 0; p < int(NumPhases); p++ {
+			sp.Phases[p] = sim.Time(read())
+		}
+		var tail [8]byte
+		if err == nil {
+			_, err = io.ReadFull(br, tail[:])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: span record %d: %w", i, err)
+		}
+		sp.Node = int32(binary.LittleEndian.Uint32(tail[0:4]))
+		sp.Write = tail[4]&1 != 0
+		if tail[5] >= uint8(proto.NumLatClasses) {
+			return nil, fmt.Errorf("obs: span record %d: unknown class %d", i, tail[5])
+		}
+		sp.Class = proto.LatClass(tail[5])
+		s.keep[i] = sp
+		s.kept++
+	}
+	return s, nil
 }
 
 // ReadBinary parses a compact binary trace, returning the held events and

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestDashboardSections(t *testing.T) {
+	d := NewDashboard()
+	h := d.Handler()
+
+	if code, body := get(t, h, "/spans"); code != 200 || !strings.Contains(body, "not been published") {
+		t.Fatalf("/spans before publish: %d %q", code, body)
+	}
+
+	d.Publish("spans", "span table\n")
+	d.Publish("progress", "3/7 runs\n")
+	d.Publish("spans", "span table v2\n") // replace, not append
+
+	if got := d.Section("spans"); got != "span table v2\n" {
+		t.Fatalf("Section(spans) = %q", got)
+	}
+	if keys := d.Keys(); len(keys) != 2 || keys[0] != "spans" || keys[1] != "progress" {
+		t.Fatalf("Keys() = %v, want first-publish order [spans progress]", keys)
+	}
+
+	if code, body := get(t, h, "/spans"); code != 200 || body != "span table v2\n" {
+		t.Fatalf("/spans = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/"); code != 200 ||
+		!strings.Contains(body, "== spans ==") || !strings.Contains(body, "3/7 runs") {
+		t.Fatalf("index page missing sections: %d %q", code, body)
+	}
+	if code, _ := get(t, h, "/no-such-page"); code != 404 {
+		t.Fatalf("unknown path served %d, want 404", code)
+	}
+	if code, body := get(t, h, "/debug/vars"); code != 200 || !strings.Contains(body, "cmdline") {
+		t.Fatalf("/debug/vars = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestDashboardProgressFunc(t *testing.T) {
+	d := NewDashboard()
+	fn := d.ProgressFunc("progress")
+	fn(2, 9, 4)
+	if got := d.Section("progress"); !strings.Contains(got, "2/9") || !strings.Contains(got, "config 4") {
+		t.Fatalf("progress section = %q", got)
+	}
+}
+
+// TestSpansMirror: an enabled recorder publishes its breakdown to the
+// dashboard every N retirements, from the simulation side only.
+func TestSpansMirror(t *testing.T) {
+	d := NewDashboard()
+	s := NewSpans(16)
+	s.SetMirror(d, "spans", 2)
+	for i := 0; i < 4; i++ {
+		s.Begin(sim.Time(i*200), 1, uint64(i)*128, false)
+		s.End(sim.Time(i*200+50), proto.LatMem)
+	}
+	body := d.Section("spans")
+	if !strings.Contains(body, "recent spans") || !strings.Contains(body, "Memory") {
+		t.Fatalf("mirrored section = %q", body)
+	}
+}
+
+func TestDashboardListenAndServe(t *testing.T) {
+	d := NewDashboard()
+	d.Publish("spans", "live\n")
+	addr, err := d.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "live\n" {
+		t.Fatalf("served %q", body)
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pimdsm/internal/proto"
+	"pimdsm/internal/sim"
+)
+
+// TestSpanAttribution walks one remote transaction through every phase and
+// checks the cursor arithmetic: each mark gets the cycles since the previous
+// crossing, the remainder after the last mark retires, and the buckets sum
+// exactly to the end-to-end latency.
+func TestSpanAttribution(t *testing.T) {
+	s := NewSpans(16)
+	s.Begin(100, 3, 0x1000, false)
+	s.Mark(PhaseIssue, 120)
+	s.Mark(PhaseNetRequest, 150)
+	s.Mark(PhaseDirOcc, 220)
+	s.Mark(PhaseOwnerFetch, 260)
+	s.Mark(PhaseNetReply, 300)
+	s.AddQueued(7)
+	s.End(340, proto.Lat3Hop)
+
+	if s.Retired() != 1 || s.Bad() != 0 {
+		t.Fatalf("retired %d bad %d, want 1/0 (%v)", s.Retired(), s.Bad(), s.BadSamples())
+	}
+	kept := s.Kept()
+	if len(kept) != 1 {
+		t.Fatalf("kept %d spans, want 1", len(kept))
+	}
+	sp := kept[0]
+	want := [NumPhases]sim.Time{
+		PhaseIssue:      20,
+		PhaseNetRequest: 30,
+		PhaseDirOcc:     70,
+		PhaseOwnerFetch: 40,
+		PhaseNetReply:   40,
+		PhaseRetire:     40,
+	}
+	if sp.Phases != want {
+		t.Fatalf("phases %v, want %v", sp.Phases, want)
+	}
+	if sp.PhaseSum() != sp.Latency() || sp.Latency() != 240 {
+		t.Fatalf("phase sum %d vs latency %d, want 240", sp.PhaseSum(), sp.Latency())
+	}
+	if sp.Queued != 7 || sp.Node != 3 || sp.Addr != 0x1000 || sp.Write {
+		t.Fatalf("span metadata wrong: %+v", sp)
+	}
+	if s.Count(false, proto.Lat3Hop) != 1 ||
+		s.PhaseCycles(false, proto.Lat3Hop, PhaseDirOcc) != 70 ||
+		s.QueuedCycles(false, proto.Lat3Hop) != 7 {
+		t.Fatalf("aggregate tables do not match the retired span")
+	}
+}
+
+// TestSpanLocalHit: a span with no marks never left the P-node, so the whole
+// latency lands in issue.
+func TestSpanLocalHit(t *testing.T) {
+	s := NewSpans(0)
+	s.Begin(10, 0, 0x80, true)
+	s.End(53, proto.LatMem)
+	sp := s.Kept()[0]
+	if sp.Phases[PhaseIssue] != 43 || sp.PhaseSum() != 43 {
+		t.Fatalf("local hit phases %v, want all 43 cycles in issue", sp.Phases)
+	}
+}
+
+// TestSpanOverlappedMark: a mark at or before the cursor attributes nothing
+// (the work was overlapped by an earlier phase) but still records that the
+// transaction left the P-node, so End's remainder retires instead of landing
+// in issue.
+func TestSpanOverlappedMark(t *testing.T) {
+	s := NewSpans(0)
+	s.Begin(100, 0, 0, false)
+	s.Mark(PhaseNetRequest, 100) // zero-width: overlapped
+	s.End(150, proto.Lat2Hop)
+	sp := s.Kept()[0]
+	if sp.Phases[PhaseNetRequest] != 0 || sp.Phases[PhaseRetire] != 50 || sp.Phases[PhaseIssue] != 0 {
+		t.Fatalf("overlapped-mark phases %v, want the remainder in retire", sp.Phases)
+	}
+}
+
+// TestSpanBad covers the discard paths: retirement before the cursor and a
+// Begin while a span is still open both count as bad without corrupting the
+// aggregates.
+func TestSpanBad(t *testing.T) {
+	s := NewSpans(0)
+	s.Begin(100, 0, 0, false)
+	s.Mark(PhaseNetRequest, 200)
+	s.End(150, proto.Lat2Hop) // before the cursor
+	if s.Bad() != 1 || s.Retired() != 0 || len(s.BadSamples()) != 1 {
+		t.Fatalf("bad %d retired %d samples %d, want 1/0/1", s.Bad(), s.Retired(), len(s.BadSamples()))
+	}
+	s.Begin(300, 0, 0, false)
+	s.Begin(310, 0, 0, false) // still open: the first is discarded as bad
+	s.End(320, proto.LatL1)
+	if s.Bad() != 2 || s.Retired() != 1 {
+		t.Fatalf("bad %d retired %d, want 2/1", s.Bad(), s.Retired())
+	}
+}
+
+// TestSpanKeptRing: the keep-ring holds the most recent retirements, oldest
+// first.
+func TestSpanKeptRing(t *testing.T) {
+	s := NewSpans(4)
+	for i := 0; i < 10; i++ {
+		s.Begin(sim.Time(i*100), 0, uint64(i), false)
+		s.End(sim.Time(i*100+10), proto.LatMem)
+	}
+	kept := s.Kept()
+	if len(kept) != 4 {
+		t.Fatalf("kept %d, want ring capacity 4", len(kept))
+	}
+	for i, sp := range kept {
+		if want := uint64(6 + i); sp.ID != want {
+			t.Fatalf("kept[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+}
+
+// TestSpanReset: Reset clears counters and tables but keeps capacity and
+// enablement.
+func TestSpanReset(t *testing.T) {
+	s := NewSpans(8)
+	s.Begin(0, 0, 0, true)
+	s.End(10, proto.LatMem)
+	s.Reset()
+	if !s.On() || s.Retired() != 0 || s.Count(true, proto.LatMem) != 0 || len(s.Kept()) != 0 {
+		t.Fatalf("reset did not clear the recorder")
+	}
+	s.Begin(0, 0, 0, false)
+	s.End(5, proto.LatL1)
+	if s.Retired() != 1 {
+		t.Fatalf("recorder unusable after reset")
+	}
+}
+
+// TestSpansBinaryRoundTrip: PDS1 write + read reproduces the counters, the
+// aggregate tables, the kept spans, and therefore the rendered breakdown.
+func TestSpansBinaryRoundTrip(t *testing.T) {
+	s := NewSpans(8)
+	s.Begin(100, 3, 0x1000, false)
+	s.Mark(PhaseNetRequest, 150)
+	s.Mark(PhaseDirOcc, 220)
+	s.Mark(PhaseNetReply, 300)
+	s.AddQueued(12)
+	s.End(340, proto.Lat2Hop)
+	s.Begin(400, 5, 0x2000, true)
+	s.Mark(PhaseNetRequest, 470)
+	s.Mark(PhaseNetReply, 600)
+	s.End(700, proto.Lat3Hop)
+	s.Begin(800, 1, 0x3000, false)
+	s.End(840, proto.LatMem)
+
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadSpansBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retired() != s.Retired() || r.Bad() != s.Bad() {
+		t.Fatalf("counters: got %d/%d, want %d/%d", r.Retired(), r.Bad(), s.Retired(), s.Bad())
+	}
+	for _, w := range []bool{false, true} {
+		for c := proto.LatClass(0); c < proto.NumLatClasses; c++ {
+			if r.Count(w, c) != s.Count(w, c) || r.QueuedCycles(w, c) != s.QueuedCycles(w, c) {
+				t.Fatalf("table mismatch at write=%v class=%v", w, c)
+			}
+			for p := Phase(0); p < NumPhases; p++ {
+				if r.PhaseCycles(w, c, p) != s.PhaseCycles(w, c, p) {
+					t.Fatalf("phase cycles mismatch at write=%v class=%v phase=%v", w, c, p)
+				}
+			}
+		}
+	}
+	if !reflect.DeepEqual(r.Kept(), s.Kept()) {
+		t.Fatalf("kept spans differ after round trip")
+	}
+	var a, b strings.Builder
+	s.WriteBreakdown(&a)
+	r.WriteBreakdown(&b)
+	if a.String() != b.String() {
+		t.Fatalf("breakdown differs after round trip:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if r.On() {
+		t.Fatalf("a loaded recorder must be disabled")
+	}
+}
+
+// TestSpansBinaryRejects: corrupt headers fail loudly.
+func TestSpansBinaryRejects(t *testing.T) {
+	if _, err := ReadSpansBinary(strings.NewReader("XXXX0000000000000000000000000000")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ReadSpansBinary(strings.NewReader("PDS1")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// spanEmitSite mirrors the guard discipline of every engine annotation site.
+func spanEmitSite(s *Spans, i int) {
+	if s.On() {
+		s.Begin(sim.Time(i), int32(i&31), uint64(i)*128, i&1 == 0)
+		s.Mark(PhaseNetRequest, sim.Time(i+40))
+		s.Mark(PhaseNetReply, sim.Time(i+200))
+		s.End(sim.Time(i+298), proto.Lat2Hop)
+	}
+}
+
+// TestSpanZeroAlloc pins the allocation contract on both paths: a disabled
+// recorder costs one branch per site and the enabled steady state writes only
+// into preallocated tables.
+func TestSpanZeroAlloc(t *testing.T) {
+	nop := NopSpans()
+	if n := testing.AllocsPerRun(1000, func() { spanEmitSite(nop, 7) }); n != 0 {
+		t.Fatalf("disabled span path allocates %v/op, want 0", n)
+	}
+	s := NewSpans(1 << 10)
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() { spanEmitSite(s, i); i++ }); n != 0 {
+		t.Fatalf("enabled span path allocates %v/op, want 0", n)
+	}
+	if s.Bad() != 0 {
+		t.Fatalf("emit-site loop produced %d bad spans: %v", s.Bad(), s.BadSamples())
+	}
+}
+
+// BenchmarkSpanDisabled pins the disabled-path cost next to the trace one.
+func BenchmarkSpanDisabled(b *testing.B) {
+	s := NopSpans()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spanEmitSite(s, i)
+	}
+}
+
+// BenchmarkSpanEnabled measures a full begin/mark/end cycle on the recording
+// path, still 0 allocs/op.
+func BenchmarkSpanEnabled(b *testing.B) {
+	s := NewSpans(1 << 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spanEmitSite(s, i)
+	}
+}

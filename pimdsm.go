@@ -93,6 +93,36 @@ func WriteChromeTrace(w io.Writer, t *Trace) error { return t.WriteChromeJSON(w)
 // event); `pimdsm trace dump` pretty-prints it.
 func WriteBinaryTrace(w io.Writer, t *Trace) error { return t.WriteBinary(w) }
 
+// Spans records one transaction span per memory access with per-phase cycle
+// attribution (issue, request trip, directory occupancy, owner fetch, reply
+// trip, retirement). Set one on Config.Spans to record a run; like Trace,
+// recording never changes simulation results. See internal/obs for the phase
+// taxonomy and Decompose for the aggregated report.
+type Spans = obs.Spans
+
+// SpanPhase names one leg of a transaction's critical path.
+type SpanPhase = obs.Phase
+
+// NumSpanPhases is the number of span phases.
+const NumSpanPhases = obs.NumPhases
+
+// NewSpans returns an enabled span recorder keeping the most recent `keep`
+// retired spans (rounded up to a power of two; 0 means 4096) alongside full
+// aggregate tables.
+func NewSpans(keep int) *Spans { return obs.NewSpans(keep) }
+
+// WriteBinarySpans writes a recorder in the compact PDS1 binary format;
+// `pimdsm spans dump` pretty-prints it.
+func WriteBinarySpans(w io.Writer, s *Spans) error { return s.WriteBinary(w) }
+
+// Dashboard serves live run state over HTTP: pre-rendered text sections plus
+// expvar and pprof. See Dashboard.ListenAndServe and the -http flag on
+// cmd/aggsim and cmd/figures.
+type Dashboard = obs.Dashboard
+
+// NewDashboard returns an empty dashboard.
+func NewDashboard() *Dashboard { return obs.NewDashboard() }
+
 // StatusLine returns a Sweep/Options progress callback that renders a live
 // status line to w (normally os.Stderr).
 func StatusLine(w io.Writer, label string) func(done, total, i int) {

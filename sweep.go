@@ -25,6 +25,13 @@ type Sweep struct {
 	// the callback needs no locking of its own; see obs.StatusLine for a
 	// ready-made live status line.
 	Progress func(done, total, i int)
+
+	// OnResult, when non-nil, is called with each run's index and result as
+	// it completes (nil when that run failed) — a streaming hook for live
+	// reporting before the whole batch finishes. Calls are serialized under
+	// the same lock as Progress and arrive in completion order, which is not
+	// input order in the parallel case.
+	OnResult func(i int, r *Result)
 }
 
 // runSim is stubbed by tests to observe pool behavior.
@@ -50,6 +57,9 @@ func (s Sweep) RunMany(cfgs []Config) ([]*Result, error) {
 	if workers <= 1 {
 		for i := range cfgs {
 			results[i], errs[i] = runSim(cfgs[i])
+			if s.OnResult != nil {
+				s.OnResult(i, results[i])
+			}
 			if s.Progress != nil {
 				s.Progress(i+1, len(cfgs), i)
 			}
@@ -65,10 +75,15 @@ func (s Sweep) RunMany(cfgs []Config) ([]*Result, error) {
 				defer wg.Done()
 				for i := range jobs {
 					results[i], errs[i] = runSim(cfgs[i])
-					if s.Progress != nil {
+					if s.OnResult != nil || s.Progress != nil {
 						mu.Lock()
 						done++
-						s.Progress(done, len(cfgs), i)
+						if s.OnResult != nil {
+							s.OnResult(i, results[i])
+						}
+						if s.Progress != nil {
+							s.Progress(done, len(cfgs), i)
+						}
 						mu.Unlock()
 					}
 				}
