@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json
 
 build:
 	$(GO) build ./...
@@ -26,9 +26,11 @@ bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...
 
 # bench-smoke runs each benchmark once — compile + one iteration, a CI-speed
-# check that the benchmarks still work (including the 0-alloc tracing pin).
+# check that the benchmarks still work — then pins the profiler-disabled
+# record paths at zero allocations (the alloc-regression gate).
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -benchmem -run '^$$' ./...
+	$(GO) test -run 'ZeroAlloc' ./internal/obs
 
 ci: build vet test race-hot
 
@@ -43,3 +45,19 @@ audit:
 	$(GO) run ./cmd/aggsim -arch numa -app ocean -scale 0.05 -threads 8 -pressure 0.75 -audit >/dev/null
 	$(GO) run ./cmd/aggsim -arch coma -app ocean -scale 0.05 -threads 8 -pressure 0.75 -audit >/dev/null
 	@echo "audit: all three machine types clean"
+
+# check-stats is the perf-regression gate: the fixed baseline matrix must
+# match testdata/golden_stats.json within per-metric tolerances, and the
+# gate must itself catch an injected 5% latency regression (self-test).
+# Regenerate the golden deliberately with `go run ./cmd/checkstats -update`.
+check-stats:
+	$(GO) run ./cmd/checkstats
+	@if $(GO) run ./cmd/checkstats -inject 0.05 >/dev/null 2>&1; then \
+		echo "check-stats: SELF-TEST FAILED - injected 5% regression not caught"; exit 1; \
+	else echo "check-stats: self-test ok (injected 5% regression caught)"; fi
+
+# bench-json snapshots simulator wall-clock throughput into a dated JSON
+# file; committing snapshots over time tracks the perf trajectory.
+bench-json:
+	$(GO) run ./cmd/benchjson > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"

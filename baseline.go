@@ -1,0 +1,149 @@
+package pimdsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Baseline is a flat map of named measurements from a fixed, deterministic
+// run matrix. `make check-stats` collects a fresh baseline and compares it
+// against the committed golden (testdata/golden_stats.json) with per-metric
+// tolerances, so a protocol or timing change that silently shifts results
+// fails CI instead of drifting in.
+type Baseline struct {
+	// Schema versions the metric set; bump it when metrics are added or
+	// renamed so stale goldens fail loudly instead of half-matching.
+	Schema  int                `json:"schema"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BaselineSchema is the current metric-set version.
+const BaselineSchema = 1
+
+// baselineApps is the fixed collection matrix: small enough for CI, broad
+// enough to cover all three architectures and both pressures (each app runs
+// its seven Figure 6 configurations).
+var baselineApps = []string{"fft", "ocean"}
+
+// CollectBaseline runs the fixed matrix (fft and ocean at scale 0.05 with 8
+// threads, seven Figure 6 configurations each) and returns the measurement
+// map. parallel bounds concurrent simulations (0 = one per CPU); parallelism
+// never changes results.
+func CollectBaseline(parallel int) (*Baseline, error) {
+	opt := Options{Scale: 0.05, Threads: 8, Apps: baselineApps, Parallel: parallel}.withDefaults()
+	b := &Baseline{Schema: BaselineSchema, Metrics: make(map[string]float64)}
+	for _, app := range opt.Apps {
+		cs := figure6Configs(app, opt)
+		cfgs := make([]Config, len(cs))
+		for i := range cs {
+			cfgs[i] = cs[i].cfg
+		}
+		results, err := opt.runMany(cfgs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			prefix := app + "/" + cs[i].label + "/"
+			m := &res.Machine
+			var reads, latSum uint64
+			for c := range m.ReadCount {
+				reads += m.ReadCount[c]
+				latSum += uint64(m.ReadLatSum[c])
+			}
+			b.Metrics[prefix+"exec_cycles"] = float64(res.Breakdown.Exec)
+			b.Metrics[prefix+"memory_cycles"] = float64(res.Breakdown.Memory)
+			if reads > 0 {
+				b.Metrics[prefix+"avg_read_lat"] = float64(latSum) / float64(reads)
+			}
+			b.Metrics[prefix+"read_count"] = float64(reads)
+			b.Metrics[prefix+"invalidations"] = float64(m.Invalidations)
+			b.Metrics[prefix+"writebacks"] = float64(m.WriteBacks)
+			b.Metrics[prefix+"mesh_messages"] = float64(res.Mesh.Messages)
+		}
+	}
+	return b, nil
+}
+
+// BaselineTolerance returns the allowed relative deviation for a metric:
+// cycle and latency measures get 2% (headroom for deliberate timing-model
+// tweaks, still far below a real regression), event counts get 0.5% (the
+// simulator is deterministic; counts should barely move).
+func BaselineTolerance(name string) float64 {
+	if strings.HasSuffix(name, "_cycles") || strings.HasSuffix(name, "_lat") {
+		return 0.02
+	}
+	return 0.005
+}
+
+// CompareBaselines reports every metric of want that got misses or exceeds
+// tolerance on, one human-readable line per violation (empty = pass).
+// Metrics present only in got are reported too: a changed metric set needs a
+// schema bump and a regenerated golden.
+func CompareBaselines(got, want *Baseline) []string {
+	var bad []string
+	if got.Schema != want.Schema {
+		bad = append(bad, fmt.Sprintf("schema %d != golden schema %d (regenerate the golden with -update)",
+			got.Schema, want.Schema))
+		return bad
+	}
+	names := make([]string, 0, len(want.Metrics))
+	for name := range want.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := want.Metrics[name]
+		g, ok := got.Metrics[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing (golden %g)", name, w))
+			continue
+		}
+		tol := BaselineTolerance(name)
+		base := w
+		if base < 0 {
+			base = -base
+		}
+		diff := g - w
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > base*tol {
+			bad = append(bad, fmt.Sprintf("%s: got %g, golden %g (%+.2f%%, tolerance ±%.1f%%)",
+				name, g, w, 100*(g-w)/base, 100*tol))
+		}
+	}
+	for name := range got.Metrics {
+		if _, ok := want.Metrics[name]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: not in golden (regenerate with -update)", name))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// WriteBaseline writes b as indented JSON (keys sorted, so goldens diff
+// cleanly).
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadBaseline parses a golden written by WriteBaseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	if b.Metrics == nil {
+		return nil, fmt.Errorf("baseline: no metrics object")
+	}
+	return &b, nil
+}

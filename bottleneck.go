@@ -1,0 +1,70 @@
+package pimdsm
+
+import (
+	"fmt"
+	"strings"
+
+	"pimdsm/internal/obs"
+)
+
+// BottleneckRow is one configuration's profiled run: per-node cycle
+// accounting, mesh-link utilization and the span-derived critical path.
+type BottleneckRow struct {
+	App   string
+	Label string // figure 6 configuration label (NUMA, COMA75, 1/1AGG25, ...)
+	Arch  Arch
+
+	// Profile holds the run's full cycle-attribution tables; Crit names the
+	// transaction phase (and the machine resource behind it) that bounds
+	// end-to-end memory latency.
+	Profile *Profile
+	Crit    obs.CritPath
+}
+
+// Bottleneck runs the Figure 6 configurations of each selected application
+// with a profiler and a span recorder attached and returns one row per
+// configuration: where the machine's cycles go (per node, per handler class,
+// per mesh link) and which resource bounds transaction latency.
+//
+// Each configuration gets its own recorders, so the runs parallelize like any
+// other batch; recording never changes simulation results.
+func Bottleneck(opt Options) ([]BottleneckRow, error) {
+	opt = opt.withDefaults()
+	var out []BottleneckRow
+	for _, app := range opt.Apps {
+		cs := figure6Configs(app, opt)
+		cfgs := make([]Config, len(cs))
+		profs := make([]*obs.Profile, len(cs))
+		recs := make([]*obs.Spans, len(cs))
+		for i := range cs {
+			cfgs[i] = cs[i].cfg
+			profs[i] = obs.NewProfile()
+			recs[i] = obs.NewSpans(0)
+			cfgs[i].Profile = profs[i]
+			cfgs[i].Spans = recs[i]
+		}
+		if _, err := opt.runMany(cfgs); err != nil {
+			return nil, err
+		}
+		for i := range cs {
+			out = append(out, BottleneckRow{
+				App: app, Label: cs[i].label, Arch: cfgs[i].Arch,
+				Profile: profs[i], Crit: obs.CriticalPathOf(recs[i]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatBottleneck renders each row's full profiler report followed by its
+// critical-path verdict.
+func FormatBottleneck(rows []BottleneckRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bottleneck analysis: cycle accounting and critical path per configuration\n\n")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "=== %s / %s ===\n", row.App, row.Label)
+		row.Profile.WriteReport(&b)
+		fmt.Fprintf(&b, "%s\n\n", row.Crit)
+	}
+	return b.String()
+}

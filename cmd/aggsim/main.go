@@ -9,6 +9,7 @@
 //	       [-trace f.json] [-trace-bin f.bin] [-trace-buf n]
 //	       [-metrics-out f.json] [-progress]
 //	       [-spans] [-spans-out f.bin] [-audit] [-http addr]
+//	       [-profile] [-folded f.folded]
 //	       [-cpuprofile f] [-memprofile f]
 //
 // -trace records the run's protocol events and writes them as Chrome
@@ -21,9 +22,14 @@
 // breakdown; -spans-out writes the recorder in the PDS1 binary form (see
 // `pimdsm spans dump`). -audit runs the per-transaction coherence auditor
 // and exits nonzero if any protocol invariant is violated.
-// -http serves a live dashboard (in-flight span table, metrics, expvar,
-// pprof) on the given address (e.g. localhost:8080); after the run finishes
-// it keeps serving the final sections until interrupted (Ctrl-C).
+// -profile attaches the sim-time accounting profiler and prints the
+// bottleneck report (per-node cycle accounting by handler class, mesh link
+// heatmap, queue-wait percentiles); -folded writes the cycle attribution as
+// collapsed stacks for speedscope / inferno / flamegraph.pl. Profiling never
+// changes simulation results.
+// -http serves a live dashboard (in-flight span table, metrics, profile,
+// expvar, pprof) on the given address (e.g. localhost:8080); after the run
+// finishes it keeps serving the final sections until interrupted (Ctrl-C).
 // -cpuprofile / -memprofile write pprof profiles covering the run (see
 // README.md, "Profiling").
 package main
@@ -62,6 +68,8 @@ func realMain() int {
 	spansOn := flag.Bool("spans", false, "record transaction spans and print the phase breakdown")
 	spansOut := flag.String("spans-out", "", "write the span recorder in PDS1 binary form to file")
 	audit := flag.Bool("audit", false, "audit coherence invariants per transaction; exit 1 on violations")
+	profileOn := flag.Bool("profile", false, "attach the sim-time profiler and print the bottleneck report")
+	folded := flag.String("folded", "", "write folded-stack cycle attribution (flamegraph input) to file")
 	httpAddr := flag.String("http", "", "serve a live dashboard on this address while running")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file on exit")
@@ -96,6 +104,11 @@ func realMain() int {
 	if *spansOn || *spansOut != "" || *httpAddr != "" {
 		spans = pimdsm.NewSpans(0)
 		cfg.Spans = spans
+	}
+	var prof *pimdsm.Profile
+	if *profileOn || *folded != "" || *httpAddr != "" {
+		prof = pimdsm.NewProfile()
+		cfg.Profile = prof
 	}
 	cfg.Audit = *audit
 	if *progress {
@@ -171,6 +184,26 @@ func realMain() int {
 			fmt.Printf("  BAD: %s\n", d)
 		}
 	}
+	if *profileOn {
+		fmt.Printf("\nbottleneck report:\n")
+		prof.WriteReport(os.Stdout)
+		if spans != nil {
+			fmt.Printf("%s\n", pimdsm.CriticalPath(spans))
+		}
+	}
+	if *folded != "" {
+		f, err := os.Create(*folded)
+		if err == nil {
+			err = pimdsm.WriteFoldedProfile(f, prof)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "folded:", err)
+			return 1
+		}
+	}
 	if *spansOut != "" {
 		f, err := os.Create(*spansOut)
 		if err == nil {
@@ -204,6 +237,10 @@ func realMain() int {
 		var sb strings.Builder
 		spans.WriteBreakdown(&sb)
 		dash.Publish("spans", sb.String())
+		var pb strings.Builder
+		prof.WriteReport(&pb)
+		fmt.Fprintf(&pb, "%s\n", pimdsm.CriticalPath(spans))
+		dash.Publish("profile", pb.String())
 		fmt.Fprintln(os.Stderr, "run complete; dashboard still serving (Ctrl-C to exit)")
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)

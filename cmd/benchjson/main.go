@@ -1,0 +1,71 @@
+// Command benchjson measures wall-clock simulator throughput on a small
+// fixed matrix and emits one JSON document to stdout. `make bench-json`
+// redirects it into BENCH_<date>.json; committing those snapshots over time
+// builds the performance trajectory of the simulator itself (host-dependent,
+// so the date and Go version are recorded alongside).
+//
+// Usage:
+//
+//	benchjson [-scale 0.1] [-threads 8] [-repeat 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pimdsm"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	scale := flag.Float64("scale", 0.1, "workload scale factor")
+	threads := flag.Int("threads", 8, "application threads")
+	repeat := flag.Int("repeat", 3, "runs per configuration (best wall time wins)")
+	flag.Parse()
+
+	type run struct {
+		arch pimdsm.Arch
+		app  string
+	}
+	matrix := []run{
+		{pimdsm.AGG, "fft"}, {pimdsm.NUMA, "fft"}, {pimdsm.COMA, "fft"},
+		{pimdsm.AGG, "ocean"},
+	}
+
+	fmt.Printf("{\"date\":%q,\"go\":%q,\"cpus\":%d,\"scale\":%g,\"threads\":%d,\"runs\":[",
+		time.Now().Format("2006-01-02"), runtime.Version(), runtime.NumCPU(), *scale, *threads)
+	for i, r := range matrix {
+		cfg := pimdsm.Config{
+			Arch: r.arch, App: pimdsm.App(r.app, *scale),
+			Threads: *threads, Pressure: 0.75, DRatio: 1,
+		}
+		var exec pimdsm.Time
+		best := time.Duration(1<<63 - 1)
+		for n := 0; n < *repeat; n++ {
+			start := time.Now()
+			res, err := pimdsm.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return 1
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			exec = res.Breakdown.Exec
+		}
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Printf("{\"arch\":%q,\"app\":%q,\"wall_ms\":%.2f,\"exec_cycles\":%d,\"cycles_per_sec\":%.0f}",
+			r.arch, r.app, float64(best.Microseconds())/1000,
+			exec, float64(exec)/best.Seconds())
+	}
+	fmt.Println("]}")
+	return 0
+}

@@ -1,0 +1,85 @@
+// Command checkstats is the perf-regression gate: it runs the fixed
+// deterministic baseline matrix (see pimdsm.CollectBaseline) and compares
+// the measurements against the committed golden with per-metric tolerances.
+//
+// Usage:
+//
+//	checkstats [-golden testdata/golden_stats.json] [-update]
+//	           [-inject 0.05] [-parallel n]
+//
+// -update regenerates the golden from the current build instead of
+// comparing (commit the result deliberately). -inject multiplies every
+// cycle/latency metric by 1+f before comparing — a self-test hook: CI runs
+// `checkstats -inject 0.05` and requires it to FAIL, proving the gate would
+// catch a 5% latency regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pimdsm"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
+	golden := flag.String("golden", "testdata/golden_stats.json", "golden baseline JSON path")
+	update := flag.Bool("update", false, "regenerate the golden instead of comparing")
+	inject := flag.Float64("inject", 0, "multiply cycle/latency metrics by 1+f (regression self-test)")
+	parallel := flag.Int("parallel", 0, "max simulations in flight (0 = one per CPU)")
+	flag.Parse()
+
+	got, err := pimdsm.CollectBaseline(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkstats:", err)
+		return 1
+	}
+	if *inject != 0 {
+		for name, v := range got.Metrics {
+			if strings.HasSuffix(name, "_cycles") || strings.HasSuffix(name, "_lat") {
+				got.Metrics[name] = v * (1 + *inject)
+			}
+		}
+	}
+	if *update {
+		f, err := os.Create(*golden)
+		if err == nil {
+			err = pimdsm.WriteBaseline(f, got)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "checkstats:", err)
+			return 1
+		}
+		fmt.Printf("checkstats: wrote %d metrics to %s\n", len(got.Metrics), *golden)
+		return 0
+	}
+	f, err := os.Open(*golden)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkstats:", err)
+		fmt.Fprintln(os.Stderr, "checkstats: no golden — generate one with -update and commit it")
+		return 1
+	}
+	want, err := pimdsm.ReadBaseline(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkstats:", err)
+		return 1
+	}
+	if bad := pimdsm.CompareBaselines(got, want); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "checkstats: %d metric(s) out of tolerance vs %s:\n", len(bad), *golden)
+		for _, line := range bad {
+			fmt.Fprintln(os.Stderr, " ", line)
+		}
+		return 1
+	}
+	fmt.Printf("checkstats: %d metrics within tolerance of %s\n", len(want.Metrics), *golden)
+	return 0
+}

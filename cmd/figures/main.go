@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b|decompose]
+//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b|decompose|bottleneck]
 //	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick]
 //	        [-parallel n] [-progress] [-http addr]
 //	        [-trace f.json] [-trace-buf n]
@@ -38,7 +38,7 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1-3, fig6-10b, decompose)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1-3, fig6-10b, decompose, bottleneck)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	threads := flag.Int("threads", 32, "application threads")
 	apps := flag.String("apps", "", "comma-separated app subset")
@@ -179,6 +179,20 @@ func realMain() int {
 		}
 		fmt.Print(pimdsm.FormatDecompose(rows))
 		fmt.Printf("[decompose regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Opt-in only (-exp bottleneck): re-runs the Figure 6 batch with the
+	// sim-time profiler to print per-node cycle accounting, mesh heatmaps and
+	// the critical-path verdict per configuration.
+	if code == 0 && *exp == "bottleneck" {
+		start := time.Now()
+		rows, err := pimdsm.Bottleneck(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bottleneck:", err)
+			return 1
+		}
+		fmt.Print(pimdsm.FormatBottleneck(rows))
+		fmt.Printf("[bottleneck regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if code == 0 {

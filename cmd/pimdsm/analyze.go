@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pimdsm/internal/obs"
+	"pimdsm/internal/stats"
+)
+
+// analyzeCmd implements `pimdsm analyze <metrics.json|spans.pds1>`: a
+// bottleneck report over a recorded artifact. The format is sniffed from the
+// content — a PDS1 span file gets the phase breakdown plus the critical-path
+// verdict; a metrics registry JSON dump gets per-class average latencies,
+// histogram percentiles and the protocol counter table.
+func analyzeCmd(args []string) int {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	// Accept the file before or after the flags, like trace dump.
+	var path string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		path, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if path == "" && fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: need a metrics.json or spans.pds1 file")
+		usage()
+		return 2
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	switch {
+	case bytes.HasPrefix(data, []byte("PDS1")):
+		return analyzeSpans(data)
+	case len(bytes.TrimSpace(data)) > 0 && bytes.TrimSpace(data)[0] == '{':
+		return analyzeMetrics(data)
+	default:
+		fmt.Fprintf(os.Stderr, "pimdsm analyze: %s is neither a PDS1 span file nor a metrics JSON dump\n", path)
+		return 1
+	}
+}
+
+func analyzeSpans(data []byte) int {
+	s, err := obs.ReadSpansBinary(bytes.NewReader(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("%d transactions retired, %d bad\n", s.Retired(), s.Bad())
+	s.WriteBreakdown(os.Stdout)
+	fmt.Printf("\n%s\n", obs.CriticalPathOf(s))
+	return 0
+}
+
+// metricsDump mirrors Registry.WriteJSON's document shape.
+type metricsDump struct {
+	Metrics map[string]json.RawMessage `json:"metrics"`
+}
+
+type histDump struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+func analyzeMetrics(data []byte) int {
+	var dump metricsDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: bad metrics JSON:", err)
+		return 1
+	}
+	if len(dump.Metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: metrics JSON has no \"metrics\" object")
+		return 1
+	}
+	counter := func(name string) (uint64, bool) {
+		raw, ok := dump.Metrics[name]
+		if !ok {
+			return 0, false
+		}
+		var v uint64
+		if json.Unmarshal(raw, &v) != nil {
+			return 0, false
+		}
+		return v, true
+	}
+
+	// Per satisfaction class: average read/write latency from the paired
+	// count/latency-sum counters CollectMachine records.
+	fmt.Println("average latency by satisfaction class (cycles):")
+	fmt.Printf("  %-12s %12s %10s %12s %10s\n", "class", "reads", "avg-read", "writes", "avg-write")
+	for _, name := range sortedKeys(dump.Metrics) {
+		if !strings.HasPrefix(name, "read.count.") {
+			continue
+		}
+		class := strings.TrimPrefix(name, "read.count.")
+		rc, _ := counter("read.count." + class)
+		rl, _ := counter("read.lat." + class)
+		wc, _ := counter("write.count." + class)
+		wl, _ := counter("write.lat." + class)
+		if rc == 0 && wc == 0 {
+			continue
+		}
+		avg := func(sum, n uint64) float64 {
+			if n == 0 {
+				return 0
+			}
+			return float64(sum) / float64(n)
+		}
+		fmt.Printf("  %-12s %12d %10.1f %12d %10.1f\n", class, rc, avg(rl, rc), wc, avg(wl, wc))
+	}
+
+	// Latency histograms: fold the bucket dump back into a stats.LatHist so
+	// the same percentile machinery the live profiler uses applies here.
+	for _, name := range sortedKeys(dump.Metrics) {
+		var h histDump
+		if err := json.Unmarshal(dump.Metrics[name], &h); err != nil || h.Buckets == nil {
+			continue
+		}
+		var lh stats.LatHist
+		for i := 0; i < len(h.Buckets) && i < len(lh); i++ {
+			lh[i] = h.Buckets[i]
+		}
+		if lh.Total() == 0 {
+			continue
+		}
+		fmt.Printf("\n%s: %d samples, p50<=%d p90<=%d p99<=%d cycles\n",
+			name, lh.Total(), lh.Percentile(0.50), lh.Percentile(0.90), lh.Percentile(0.99))
+	}
+
+	// Protocol event counters, largest first — the quick "what is this run
+	// doing" table.
+	type kv struct {
+		name string
+		v    uint64
+	}
+	var events []kv
+	for _, name := range sortedKeys(dump.Metrics) {
+		if strings.ContainsRune(name, '.') {
+			continue
+		}
+		if v, ok := counter(name); ok {
+			events = append(events, kv{name, v})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].v > events[j].v })
+	if len(events) > 0 {
+		fmt.Println("\nprotocol events:")
+		for _, e := range events {
+			fmt.Printf("  %-16s %12d\n", e.name, e.v)
+		}
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]json.RawMessage) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pimdsm/internal/obs"
+	"pimdsm/internal/proto"
+)
+
+// TestAnalyzeSpans: `pimdsm analyze` on a PDS1 file prints the breakdown and
+// the critical-path verdict.
+func TestAnalyzeSpans(t *testing.T) {
+	s := obs.NewSpans(8)
+	s.Begin(100, 3, 0x1000, false)
+	s.Mark(obs.PhaseNetRequest, 150)
+	s.Mark(obs.PhaseDirOcc, 400)
+	s.Mark(obs.PhaseNetReply, 450)
+	s.End(470, proto.Lat2Hop)
+
+	path := filepath.Join(t.TempDir(), "s.pds1")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out := capture(t, func() int { return realMain([]string{"analyze", path}) })
+	if code != 0 {
+		t.Fatalf("analyze exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"1 transactions retired", "critical path:", "directory occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeMetrics: `pimdsm analyze` on a metrics registry JSON dump prints
+// per-class latencies, histogram percentiles and the event table.
+func TestAnalyzeMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("read.count.2Hop").Add(10)
+	reg.Counter("read.lat.2Hop").Add(5000)
+	reg.Counter("write.count.2Hop").Add(4)
+	reg.Counter("write.lat.2Hop").Add(1200)
+	reg.Counter("invalidations").Add(42)
+	h := reg.Histogram("read.lat.hist", obs.Pow2Bounds(19))
+	for i := 0; i < 100; i++ {
+		h.Observe(512)
+	}
+
+	path := filepath.Join(t.TempDir(), "m.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	code, out := capture(t, func() int { return realMain([]string{"analyze", path}) })
+	if code != 0 {
+		t.Fatalf("analyze exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{"2Hop", "500.0", "read.lat.hist", "p99<=511", "invalidations", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeErrors: missing arguments and missing/corrupt inputs exit
+// nonzero with the documented codes.
+func TestAnalyzeErrors(t *testing.T) {
+	if code, _ := capture(t, func() int { return realMain([]string{"analyze"}) }); code != 2 {
+		t.Errorf("analyze with no file exited %d, want 2", code)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"analyze", "/no/such/file"}) }); code != 1 {
+		t.Errorf("analyze missing file exited %d, want 1", code)
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("not a span file and not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"analyze", junk}) }); code != 1 {
+		t.Errorf("analyze corrupt file exited %d, want 1", code)
+	}
+	// A PDS1 magic with a truncated body is corrupt, not silently accepted.
+	trunc := filepath.Join(t.TempDir(), "trunc.pds1")
+	if err := os.WriteFile(trunc, []byte("PDS1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"analyze", trunc}) }); code != 1 {
+		t.Errorf("analyze truncated span file exited %d, want 1", code)
+	}
+	// Valid JSON without a metrics object is rejected too.
+	noMetrics := filepath.Join(t.TempDir(), "no.json")
+	if err := os.WriteFile(noMetrics, []byte(`{"other":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := capture(t, func() int { return realMain([]string{"analyze", noMetrics}) }); code != 1 {
+		t.Errorf("analyze metrics-less JSON exited %d, want 1", code)
+	}
+}

@@ -4,13 +4,16 @@
 //	pimdsm trace dump f.bin [-kind read] [-node 3] [-limit 100]
 //	pimdsm trace convert f.bin f.json
 //	pimdsm spans dump f.bin [-limit 100]
+//	pimdsm analyze metrics.json|spans.pds1
 //
 // `trace dump` pretty-prints events recorded by `aggsim -trace-bin` in
 // sim-time order with per-kind totals; `trace convert` rewrites a binary
 // trace as Chrome trace_event JSON (loadable in chrome://tracing or
 // https://ui.perfetto.dev). `spans dump` prints the per-phase miss-latency
 // breakdown and the retained transaction spans of a PDS1 file recorded by
-// `aggsim -spans-out`.
+// `aggsim -spans-out`. `analyze` sniffs either artifact and prints a
+// bottleneck report: phase breakdown plus critical-path verdict for span
+// files, per-class latencies and histogram percentiles for metrics dumps.
 package main
 
 import (
@@ -35,6 +38,8 @@ func realMain(args []string) int {
 		return traceCmd(args[1:])
 	case "spans":
 		return spansCmd(args[1:])
+	case "analyze":
+		return analyzeCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
 		usage()
@@ -46,6 +51,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: pimdsm trace dump <f.bin> [-kind k] [-node n] [-limit n]")
 	fmt.Fprintln(os.Stderr, "       pimdsm trace convert <f.bin> <f.json>")
 	fmt.Fprintln(os.Stderr, "       pimdsm spans dump <f.bin> [-limit n]")
+	fmt.Fprintln(os.Stderr, "       pimdsm analyze <metrics.json|spans.pds1>")
 }
 
 func traceCmd(args []string) int {

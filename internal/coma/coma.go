@@ -103,6 +103,7 @@ type Machine struct {
 	st       stats.Machine
 	trace    *obs.Trace
 	spans    *obs.Spans
+	prof     *obs.Profile
 
 	audit       bool
 	auditViol   uint64
@@ -131,6 +132,7 @@ func New(cfg Config) (*Machine, error) {
 		net:   net,
 		trace: obs.Nop(),
 		spans: obs.NopSpans(),
+		prof:  obs.NopProfile(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.am = make([]*cache.LocalMemory, cfg.Nodes)
@@ -191,6 +193,33 @@ func (m *Machine) SetSpans(s *obs.Spans) {
 	}
 	m.spans = s
 	m.net.SetSpans(s)
+}
+
+// SetProfile routes handler-class cycle attribution to p (nil disables), on
+// the machine and its mesh. The home engines and paging devices are covered;
+// attraction-memory banks are not (they mostly serve the local CPU).
+func (m *Machine) SetProfile(p *obs.Profile) {
+	if p == nil {
+		p = obs.NopProfile()
+	}
+	p.EnsureNodes(m.cfg.Nodes)
+	m.prof = p
+	m.net.SetProfile(p)
+}
+
+// FinishProfile folds the home engines' and paging devices' resource
+// accounting into the attached profile. Cold path, called once after a run.
+func (m *Machine) FinishProfile() {
+	if !m.prof.On() {
+		return
+	}
+	for h := range m.hproc {
+		b, a, w := m.hproc[h].Utilization()
+		m.prof.SetResource(h, obs.ResProc, b, a, w, m.hproc[h].FreeAt())
+		b, a, w = m.disk[h].Utilization()
+		m.prof.SetResource(h, obs.ResDisk, b, a, w, m.disk[h].FreeAt())
+	}
+	m.net.FoldProfile(m.prof)
 }
 
 // SetAudit enables the per-transaction coherence audit of the accessed
@@ -362,6 +391,7 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 		m.spans.Mark(obs.PhaseIssue, reqT)
 	}
 	hs := m.dirAt(reqT, p, home, m.cfg.Costs.ReadOcc)
+	m.prof.Node(home, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 
 	var done sim.Time
 	supplier := home
@@ -383,6 +413,7 @@ func (m *Machine) readMiss(reqT sim.Time, p, home int, addr, line uint64, e *dir
 	case dirSwapped:
 		// The line was swapped out after an injection overflow.
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		m.prof.Node(home, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, ds+m.cfg.Timing.DiskLat)
 		}
@@ -447,6 +478,8 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		m.spans.Mark(obs.PhaseIssue, reqT)
 	}
 	hs := m.dirAt(reqT, p, home, occ)
+	m.prof.Node(home, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadExOcc)
+	m.prof.Node(home, obs.ResProc, obs.HCInval, occ-m.cfg.Costs.ReadExOcc)
 	replyT := hs + m.cfg.Costs.ReadExLat
 
 	var done sim.Time
@@ -461,6 +494,7 @@ func (m *Machine) writeMiss(reqT sim.Time, p, home int, addr, line uint64, e *di
 		done = m.net.Send(replyT, home, p, data)
 	case e.state == dirSwapped:
 		ds := m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+		m.prof.Node(home, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, ds+m.cfg.Timing.DiskLat)
 		}
@@ -591,6 +625,7 @@ func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
 	for hop := 0; hop < maxHops; hop++ {
 		arrive := m.net.Send(t, cur, target, data)
 		hs := m.hproc[target].Acquire(arrive, m.cfg.Costs.WBOcc)
+		m.prof.Node(target, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.WBOcc)
 		m.bank[target].Acquire(hs, m.cfg.Timing.MemBankOcc)
 		v := m.am[target].ProbeVictim(line, rank)
 		if !v.State.Owned() {
@@ -621,7 +656,9 @@ func (m *Machine) inject(t sim.Time, from int, line uint64, st cache.State) {
 	home := m.homeFor(from, line)
 	arrive := m.net.Send(t, cur, home, data)
 	hs := m.hproc[home].Acquire(arrive, m.cfg.Costs.WBOcc)
+	m.prof.Node(home, obs.ResProc, obs.HCPageout, m.cfg.Costs.WBOcc)
 	m.disk[home].Acquire(hs, m.cfg.Timing.DiskLat)
+	m.prof.Node(home, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 	for _, q := range e.sharers.Targets(nil, m.allNodes, from) {
 		iv := m.net.Send(hs, home, q, m.net.ControlBytes())
 		m.am[q].Invalidate(line)

@@ -111,6 +111,7 @@ type Machine struct {
 	st    stats.Machine
 	trace *obs.Trace
 	spans *obs.Spans
+	prof  *obs.Profile
 
 	audit       bool
 	auditViol   uint64
@@ -139,6 +140,7 @@ func New(cfg Config) (*Machine, error) {
 		net:   net,
 		trace: obs.Nop(),
 		spans: obs.NopSpans(),
+		prof:  obs.NopProfile(),
 	}
 	m.pMesh, m.dMesh = Placement(total, cfg.PNodes, cfg.DNodes)
 	m.caches = make([]*proto.CacheSet, cfg.PNodes)
@@ -243,6 +245,41 @@ func (m *Machine) SetSpans(s *obs.Spans) {
 	}
 	m.spans = s
 	m.net.SetSpans(s)
+}
+
+// SetProfile routes handler-class cycle attribution to p (nil disables), on
+// the machine and its mesh. Profiling is record-only: timing never reads it.
+func (m *Machine) SetProfile(p *obs.Profile) {
+	if p == nil {
+		p = obs.NopProfile()
+	}
+	p.EnsureNodes(m.cfg.PNodes + m.cfg.DNodes)
+	m.prof = p
+	m.net.SetProfile(p)
+}
+
+// FinishProfile folds the independent per-resource accounting — the
+// cross-check side of the profiler's Σclass == busy invariant — into the
+// attached profile. Cold path, called once after a run.
+func (m *Machine) FinishProfile() {
+	if !m.prof.On() {
+		return
+	}
+	for d := range m.dproc {
+		dn := int(m.dnode(d))
+		b, a, w := m.dproc[d].Utilization()
+		m.prof.SetResource(dn, obs.ResProc, b, a, w, m.dproc[d].FreeAt())
+		b, a, w = m.dbank[d].Utilization()
+		m.prof.SetResource(dn, obs.ResMem, b, a, w, m.dbank[d].FreeAt())
+		b, a, w = m.disk[d].Utilization()
+		m.prof.SetResource(dn, obs.ResDisk, b, a, w, m.disk[d].FreeAt())
+	}
+	m.net.FoldProfile(m.prof)
+}
+
+// profD attributes cycles held on D-node d's resource r to handler class c.
+func (m *Machine) profD(d int, r obs.NodeRes, c obs.HandlerClass, cy sim.Time) {
+	m.prof.Node(int(m.dnode(d)), r, c, cy)
 }
 
 // SetAudit enables the per-transaction coherence audit: after every access
@@ -464,6 +501,7 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 			panic("core: read miss by the dirty owner")
 		}
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+		m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
 		}
@@ -485,6 +523,7 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		// stays copyless and later reads pay 3 hops via the master.
 		wbArr := m.net.Send(sendT, m.pMesh[owner], m.dMesh[d], data)
 		ws := m.dproc[d].Acquire(wbArr, m.cfg.Costs.AckOcc)
+		m.profD(d, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.AckOcc)
 		m.pmem[owner].SetState(line, cache.SharedMaster)
 		m.caches[owner].DowngradeMemLine(line)
 		e.State = DirShared
@@ -494,6 +533,7 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		e.Sharers.Add(p)
 		if res, _ := m.dmem[d].EnsureSlot(e); res != AllocFailed {
 			m.dbank[d].Acquire(ws, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCListOps, m.cfg.Timing.MemBankOcc)
 			m.dmem[d].LinkShared(e)
 		}
 		fillState, class = cache.Shared, proto.Lat3Hop
@@ -502,7 +542,9 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		if e.HasCopy() {
 			// 2-hop reply from the home's Data array.
 			hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+			m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 			m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCDirLookup, m.cfg.Timing.MemBankOcc)
 			if m.spans.On() {
 				m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
 			}
@@ -529,6 +571,7 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 				panic("core: shared line without home copy has no remote master")
 			}
 			hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+			m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 			if m.spans.On() {
 				m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadLat)
 			}
@@ -547,8 +590,10 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 			// lines in the home most of the time", §2.2.2).
 			wbArr := m.net.Send(ms+lat, m.pMesh[master], m.dMesh[d], data)
 			ws := m.dproc[d].Acquire(wbArr, m.cfg.Costs.AckOcc)
+			m.profD(d, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.AckOcc)
 			if res, _ := m.dmem[d].EnsureSlot(e); res != AllocFailed {
 				m.dbank[d].Acquire(ws, m.cfg.Timing.MemBankOcc)
+				m.profD(d, obs.ResMem, obs.HCListOps, m.cfg.Timing.MemBankOcc)
 				m.dmem[d].LinkShared(e)
 			}
 			fillState, class = cache.Shared, proto.Lat3Hop
@@ -558,9 +603,11 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		// 2-hop from the home; the first reader receives mastership and
 		// the home copy (if any) joins the SharedList.
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadOcc)
+		m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 		t := hs
 		if e.OnDisk {
 			t = m.disk[d].Acquire(t, m.cfg.Timing.DiskLat) + m.cfg.Timing.DiskLat
+			m.profD(d, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 			m.st.DiskFaults++
 			if m.trace.On() {
 				m.trace.Emit(obs.EvDiskFault, hs, 0, m.dnode(d), line, 0)
@@ -569,6 +616,7 @@ func (m *Machine) remoteRead(reqT sim.Time, p, d int, addr uint64, e *DirEntry) 
 		var stored bool
 		t, stored = m.ensureSlot(t, d, e)
 		m.dbank[d].Acquire(t, m.cfg.Timing.MemBankOcc)
+		m.profD(d, obs.ResMem, obs.HCListOps, m.cfg.Timing.MemBankOcc)
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, t+m.cfg.Costs.ReadLat)
 		}
@@ -618,6 +666,7 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 			panic("core: write miss by the dirty owner")
 		}
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadExOcc)
+		m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadExOcc)
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, hs+m.cfg.Costs.ReadExLat)
 		}
@@ -634,6 +683,7 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		}
 		ackArr := m.net.Send(sendT, m.pMesh[owner], m.dMesh[d], ctrl)
 		m.dproc[d].Acquire(ackArr, m.cfg.Costs.AckOcc)
+		m.profD(d, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.AckOcc)
 		m.pmem[owner].Invalidate(line)
 		m.caches[owner].InvalidateMemLine(line)
 		m.st.Invalidations++
@@ -647,6 +697,8 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		targets := e.Sharers.Targets(nil, m.allP, p)
 		occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
 		hs := m.dproc[d].Acquire(arrive, occ)
+		m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadExOcc)
+		m.profD(d, obs.ResProc, obs.HCInval, occ-m.cfg.Costs.ReadExOcc)
 		replyT := hs + m.cfg.Costs.ReadExLat
 		if m.spans.On() {
 			m.spans.Mark(obs.PhaseDirOcc, replyT)
@@ -664,6 +716,7 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 			class = proto.Lat2Hop
 		case e.HasCopy():
 			m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCDirLookup, m.cfg.Timing.MemBankOcc)
 			done = m.net.Send(replyT, m.dMesh[d], m.pMesh[p], data)
 			class = proto.Lat2Hop
 		default:
@@ -715,9 +768,11 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 
 	case DirHome:
 		hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.ReadExOcc)
+		m.profD(d, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadExOcc)
 		t := hs
 		if e.OnDisk {
 			t = m.disk[d].Acquire(t, m.cfg.Timing.DiskLat) + m.cfg.Timing.DiskLat
+			m.profD(d, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 			m.st.DiskFaults++
 			if m.trace.On() {
 				m.trace.Emit(obs.EvDiskFault, hs, 0, m.dnode(d), line, 0)
@@ -727,6 +782,7 @@ func (m *Machine) remoteWrite(reqT sim.Time, p, d int, addr uint64, e *DirEntry,
 		}
 		if e.HasCopy() {
 			m.dbank[d].Acquire(t, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCDirLookup, m.cfg.Timing.MemBankOcc)
 			m.dmem[d].ReleaseSlot(e)
 		}
 		// Unfetched lines are satisfied by zero-fill: no slot was ever used.
@@ -802,6 +858,7 @@ func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 	}
 	arrive := m.net.Send(t, m.pMesh[p], m.dMesh[d], m.net.DataBytes(m.cfg.LineBytes))
 	hs := m.dproc[d].Acquire(arrive, m.cfg.Costs.WBOcc)
+	m.profD(d, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.WBOcc)
 	m.st.WriteBacks++
 	if m.trace.On() {
 		m.trace.Emit(obs.EvWriteBack, t, 0, int32(p), line, 0)
@@ -819,6 +876,7 @@ func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 			return
 		}
 		m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
+		m.profD(d, obs.ResMem, obs.HCWriteBack, m.cfg.Timing.MemBankOcc)
 		e.State = DirHome
 		e.Master = HomeMaster
 		e.Sharers.Clear()
@@ -836,6 +894,7 @@ func (m *Machine) writeBack(t sim.Time, p int, line uint64, st cache.State) {
 				return
 			}
 			m.dbank[d].Acquire(hs, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCWriteBack, m.cfg.Timing.MemBankOcc)
 		}
 		e.Master = HomeMaster
 		e.Sharers.Remove(p)
@@ -899,6 +958,7 @@ func (m *Machine) ensureSlot(t sim.Time, d int, e *DirEntry) (sim.Time, bool) {
 // pays a disk fault.
 func (m *Machine) spill(t sim.Time, d int, e *DirEntry) {
 	m.disk[d].Acquire(t, m.cfg.Timing.DiskLat)
+	m.profD(d, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 	e.State = DirHome
 	e.Master = HomeMaster
 	e.Sharers.Clear()
@@ -919,6 +979,7 @@ func (m *Machine) spill(t sim.Time, d int, e *DirEntry) {
 func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim.Time {
 	dm := m.dmem[d]
 	start := t
+	var recallWait sim.Time
 	ctrl := m.net.ControlBytes()
 	data := m.net.DataBytes(m.cfg.LineBytes)
 	processed := 0
@@ -982,10 +1043,12 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 			e.Sharers.Clear()
 		})
 		if lastArrive > t {
+			recallWait += lastArrive - t
 			t = lastArrive
 		}
 		// Write the page to disk and unmap it.
 		ds := m.disk[d].Acquire(t, m.cfg.Timing.DiskLat)
+		m.profD(d, obs.ResDisk, obs.HCPageout, m.cfg.Timing.DiskLat)
 		t = ds + m.cfg.Timing.DiskLat
 		if err := dm.UnmapPage(page); err != nil {
 			panic(fmt.Sprintf("core: pageout unmap failed: %v", err))
@@ -998,6 +1061,11 @@ func (m *Machine) pageout(t sim.Time, d int, protect uint64, wantSlots bool) sim
 	}
 	if t > start {
 		m.dproc[d].Block(start, t)
+		// The Block charges the whole episode to the protocol processor;
+		// split it between waiting on recalled lines and the pageout walk
+		// proper so the class buckets still sum to the resource's busy time.
+		m.profD(d, obs.ResProc, obs.HCRecall, recallWait)
+		m.profD(d, obs.ResProc, obs.HCPageout, (t-start)-recallWait)
 	}
 	if m.trace.On() {
 		m.trace.Emit(obs.EvOcc, t, 0, m.dnode(d), 0, uint64(dm.FreeLen()))

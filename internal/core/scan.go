@@ -38,6 +38,7 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 		dm := m.dmem[d]
 		arrive := m.net.Send(t, m.pMesh[p], m.dMesh[d], ctrl)
 		hs := m.dproc[d].Acquire(arrive, sim.Time(inPage)*m.cfg.ScanPerLine)
+		m.profD(d, obs.ResProc, obs.HCScan, sim.Time(inPage)*m.cfg.ScanPerLine)
 		tl := hs
 		var lastRecall sim.Time
 		for i := 0; i < inPage; i++ {
@@ -73,6 +74,7 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 			}
 			if e.OnDisk {
 				ds := m.disk[d].Acquire(tl, m.cfg.Timing.DiskLat)
+				m.profD(d, obs.ResDisk, obs.HCScan, m.cfg.Timing.DiskLat)
 				tl = ds + m.cfg.Timing.DiskLat
 				m.st.DiskFaults++
 				if m.trace.On() {
@@ -87,6 +89,7 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 				}
 			}
 			m.dbank[d].Acquire(tl, m.cfg.Timing.MemBankOcc)
+			m.profD(d, obs.ResMem, obs.HCScan, m.cfg.Timing.MemBankOcc)
 			tl += m.cfg.ScanPerLine
 			m.st.ScanLines++
 		}
@@ -94,6 +97,9 @@ func (m *Machine) Scan(now sim.Time, p int, addr uint64, lines int, selBytes uin
 			tl = lastRecall
 		}
 		m.dproc[d].Block(hs, tl)
+		if tl > hs {
+			m.profD(d, obs.ResProc, obs.HCScan, tl-hs)
+		}
 		if m.trace.On() {
 			m.trace.Emit(obs.EvScan, hs, tl-hs, m.dnode(d), page, uint64(inPage))
 		}

@@ -84,6 +84,13 @@ type Config struct {
 	// retirement and counts protocol-invariant violations (reported in
 	// Result.AuditViolations). Read-only, so timing is unaffected.
 	Audit bool
+
+	// Profile, when non-nil and enabled, receives the run's cycle
+	// attribution: per-node handler-class accounting, P-node busy/stall
+	// buckets, and mesh-link utilization with queue-depth samples. Like
+	// Trace and Spans it is record-only — results are bit-identical with
+	// profiling on or off.
+	Profile *obs.Profile
 }
 
 // Result is everything a run measures. All engine-level counters are
@@ -138,6 +145,8 @@ type engine interface {
 	LineBytes() uint64
 	SetTrace(*obs.Trace)
 	SetSpans(*obs.Spans)
+	SetProfile(*obs.Profile)
+	FinishProfile()
 	SetAudit(bool)
 	AuditReport() (uint64, []string)
 }
@@ -274,6 +283,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	eng.SetTrace(tr)
 	eng.SetSpans(cfg.Spans)
+	eng.SetProfile(cfg.Profile)
 	eng.SetAudit(cfg.Audit)
 	if tr.On() {
 		tr.Emit(obs.EvRunStart, 0, 0, -1, uint64(cfg.Threads), uint64(sz.DNodes))
@@ -366,6 +376,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Metrics != nil {
 		collectMetrics(cfg.Metrics, res)
+	}
+	if cfg.Profile != nil && cfg.Profile.On() {
+		prof := cfg.Profile
+		prof.SetMeta(string(cfg.Arch) + "/" + app.Name())
+		prof.SetExec(res.Breakdown.Exec)
+		for i := range res.PerThread {
+			t := &res.PerThread[i]
+			prof.AddPNode(i, t.Busy, t.MemStall, t.SyncSpin, t.Finish)
+		}
+		eng.FinishProfile()
 	}
 	if cfg.Audit {
 		res.AuditViolations, res.AuditSamples = eng.AuditReport()

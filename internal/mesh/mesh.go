@@ -72,6 +72,7 @@ type Mesh struct {
 	stats Stats
 	trace *obs.Trace
 	spans *obs.Spans
+	prof  *obs.Profile
 }
 
 // Link directions.
@@ -95,6 +96,7 @@ func New(cfg Config) (*Mesh, error) {
 		links: make([]sim.Resource, cfg.Width*cfg.Height*4),
 		trace: obs.Nop(),
 		spans: obs.NopSpans(),
+		prof:  obs.NopProfile(),
 	}, nil
 }
 
@@ -114,6 +116,29 @@ func (m *Mesh) SetSpans(s *obs.Spans) {
 		s = obs.NopSpans()
 	}
 	m.spans = s
+}
+
+// SetProfile routes link-wait observations and queue-depth samples to p and
+// sizes its mesh tables; nil disables.
+func (m *Mesh) SetProfile(p *obs.Profile) {
+	if p == nil {
+		p = obs.NopProfile()
+	}
+	p.SetMeshDims(m.cfg.Width, m.cfg.Height)
+	m.prof = p
+}
+
+// FoldProfile copies every directed link's resource accounting into p.
+// Cold path, called once after a run.
+func (m *Mesh) FoldProfile(p *obs.Profile) {
+	if p == nil || !p.On() {
+		return
+	}
+	p.SetMeshDims(m.cfg.Width, m.cfg.Height)
+	for i := range m.links {
+		busy, acq, waited := m.links[i].Utilization()
+		p.SetLink(i, busy, acq, waited)
+	}
 }
 
 // MustNew is New, panicking on error.
@@ -190,10 +215,14 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 			dir = dirWest
 			nx = x - 1
 		}
-		start := m.links[(m.NodeAt(x, y)*4)+dir].Acquire(t, ser)
+		li := m.NodeAt(x, y)*4 + dir
+		start := m.links[li].Acquire(t, ser)
 		m.stats.Queued += start - t
 		if m.spans.On() {
 			m.spans.AddQueued(start - t)
+		}
+		if m.prof.On() && m.prof.MeshHop(li, start-t) {
+			m.prof.MeshSample(li, start, start-t, m.links[li].QueueDepth(start))
 		}
 		t = start + m.cfg.RouterDelay
 		x = nx
@@ -206,10 +235,14 @@ func (m *Mesh) Send(now sim.Time, src, dst int, bytes uint64) sim.Time {
 			dir = dirNorth
 			ny = y - 1
 		}
-		start := m.links[(m.NodeAt(x, y)*4)+dir].Acquire(t, ser)
+		li := m.NodeAt(x, y)*4 + dir
+		start := m.links[li].Acquire(t, ser)
 		m.stats.Queued += start - t
 		if m.spans.On() {
 			m.spans.AddQueued(start - t)
+		}
+		if m.prof.On() && m.prof.MeshHop(li, start-t) {
+			m.prof.MeshSample(li, start, start-t, m.links[li].QueueDepth(start))
 		}
 		t = start + m.cfg.RouterDelay
 		y = ny

@@ -94,6 +94,7 @@ type Machine struct {
 	st       stats.Machine
 	trace    *obs.Trace
 	spans    *obs.Spans
+	prof     *obs.Profile
 
 	audit       bool
 	auditViol   uint64
@@ -122,6 +123,7 @@ func New(cfg Config) (*Machine, error) {
 		net:   net,
 		trace: obs.Nop(),
 		spans: obs.NopSpans(),
+		prof:  obs.NopProfile(),
 	}
 	m.caches = make([]*proto.CacheSet, cfg.Nodes)
 	m.onchip = make([]*cache.SetAssoc, cfg.Nodes)
@@ -172,6 +174,31 @@ func (m *Machine) SetSpans(s *obs.Spans) {
 	}
 	m.spans = s
 	m.net.SetSpans(s)
+}
+
+// SetProfile routes handler-class cycle attribution to p (nil disables), on
+// the machine and its mesh. The home engine's occupancy is covered; local
+// memory banks are not (they mostly serve the local CPU, not protocol duty).
+func (m *Machine) SetProfile(p *obs.Profile) {
+	if p == nil {
+		p = obs.NopProfile()
+	}
+	p.EnsureNodes(m.cfg.Nodes)
+	m.prof = p
+	m.net.SetProfile(p)
+}
+
+// FinishProfile folds each home engine's resource accounting into the
+// attached profile. Cold path, called once after a run.
+func (m *Machine) FinishProfile() {
+	if !m.prof.On() {
+		return
+	}
+	for h := range m.hproc {
+		b, a, w := m.hproc[h].Utilization()
+		m.prof.SetResource(h, obs.ResProc, b, a, w, m.hproc[h].FreeAt())
+	}
+	m.net.FoldProfile(m.prof)
 }
 
 // SetAudit enables the per-transaction coherence audit of the accessed
@@ -412,6 +439,7 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 		m.spans.Mark(obs.PhaseNetRequest, arrive)
 	}
 	hs := m.hproc[h].Acquire(arrive, m.cfg.Costs.ReadOcc)
+	m.prof.Node(h, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadOcc)
 
 	var done sim.Time
 	var class proto.LatClass
@@ -444,6 +472,7 @@ func (m *Machine) remoteRead(now sim.Time, p, h int, addr, line uint64, e *dirEn
 		done = m.net.Send(sendT, q, p, data)
 		wb := m.net.Send(sendT, q, h, data)
 		ws := m.hproc[h].Acquire(wb, m.cfg.Costs.AckOcc)
+		m.prof.Node(h, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.AckOcc)
 		m.bank[h].Acquire(ws, m.cfg.Timing.MemBankOcc)
 		m.caches[q].DowngradeMemLine(line)
 		e.state = dirShared
@@ -488,6 +517,8 @@ func (m *Machine) remoteWrite(now sim.Time, p, h int, addr, line uint64, e *dirE
 	targets := e.sharers.Targets(nil, m.allNodes, p)
 	occ := m.cfg.Costs.ReadExOcc + m.cfg.Costs.InvalPerNode*sim.Time(len(targets))
 	hs := m.hproc[h].Acquire(arrive, occ)
+	m.prof.Node(h, obs.ResProc, obs.HCDirLookup, m.cfg.Costs.ReadExOcc)
+	m.prof.Node(h, obs.ResProc, obs.HCInval, occ-m.cfg.Costs.ReadExOcc)
 	replyT := hs + m.cfg.Costs.ReadExLat
 	if m.spans.On() {
 		m.spans.Mark(obs.PhaseDirOcc, replyT)
@@ -592,6 +623,7 @@ func (m *Machine) handleVictims(when sim.Time, p int, victims []cache.Victim) {
 		// home's protocol engine but nobody waits on it.
 		wb := m.net.Send(when, p, h, m.net.DataBytes(m.cfg.LineBytes))
 		ws := m.hproc[h].Acquire(wb, m.cfg.Costs.WBOcc)
+		m.prof.Node(h, obs.ResProc, obs.HCWriteBack, m.cfg.Costs.WBOcc)
 		m.bank[h].Acquire(ws, m.cfg.Timing.MemBankOcc)
 	}
 }

@@ -17,8 +17,8 @@ import (
 // simulator single-threaded and race-free while a multi-minute sweep is
 // watched from a browser.
 //
-// Routes: "/" (all sections), "/spans" and "/metrics" (single well-known
-// sections), "/debug/vars" (expvar), "/debug/pprof/*" (profiling).
+// Routes: "/" (all sections), "/spans", "/metrics" and "/profile" (single
+// well-known sections), "/debug/vars" (expvar), "/debug/pprof/*" (profiling).
 type Dashboard struct {
 	mu    sync.Mutex
 	vals  map[string]string
@@ -84,7 +84,7 @@ func (d *Dashboard) serveIndex(w http.ResponseWriter, r *http.Request) {
 	keys := d.Keys()
 	sorted := append([]string(nil), keys...)
 	sort.Strings(sorted)
-	fmt.Fprintf(w, "pimdsm dashboard — sections: %v; also /spans /metrics /debug/vars /debug/pprof/\n\n", sorted)
+	fmt.Fprintf(w, "pimdsm dashboard — sections: %v; also /spans /metrics /profile /debug/vars /debug/pprof/\n\n", sorted)
 	for _, k := range keys {
 		fmt.Fprintf(w, "== %s ==\n%s\n", k, d.Section(k))
 	}
@@ -98,6 +98,7 @@ func (d *Dashboard) Handler() http.Handler {
 	mux.HandleFunc("/", d.serveIndex)
 	mux.HandleFunc("/spans", d.serveSection("spans"))
 	mux.HandleFunc("/metrics", d.serveSection("metrics"))
+	mux.HandleFunc("/profile", d.serveSection("profile"))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

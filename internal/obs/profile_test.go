@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"pimdsm/internal/sim"
+)
+
+// TestProfileZeroAllocs pins both record paths at zero allocations: the
+// disabled (nop) profiler and an enabled profiler after its tables are
+// sized. This is the alloc-regression gate `make bench-smoke` runs.
+func TestProfileZeroAllocs(t *testing.T) {
+	nop := NopProfile()
+	if got := testing.AllocsPerRun(1000, func() {
+		nop.Node(3, ResProc, HCDirLookup, 40)
+		if nop.MeshHop(5, 10) {
+			nop.MeshSample(5, 100, 10, 2)
+		}
+	}); got != 0 {
+		t.Fatalf("nop profile record path allocates %v/op, want 0", got)
+	}
+
+	p := NewProfile()
+	p.EnsureNodes(16)
+	p.SetMeshDims(4, 4)
+	if got := testing.AllocsPerRun(1000, func() {
+		p.Node(3, ResProc, HCDirLookup, 40)
+		if p.MeshHop(5, 10) {
+			p.MeshSample(5, 100, 10, 2)
+		}
+	}); got != 0 {
+		t.Fatalf("enabled profile record path allocates %v/op, want 0", got)
+	}
+}
+
+// TestProfileInvariants: a profile whose attributions pair every resource
+// cycle passes CheckInvariants; breaking either identity is reported.
+func TestProfileInvariants(t *testing.T) {
+	p := NewProfile()
+	p.EnsureNodes(3)
+	p.SetExec(1000)
+	// P-node 0: buckets sum to exec.
+	p.AddPNode(0, 400, 300, 200, 900) // idle = 1000-900 = 100
+	// D-node 2: proc covered with 150 busy cycles, attributed exactly.
+	p.Node(2, ResProc, HCDirLookup, 100)
+	p.Node(2, ResProc, HCInval, 50)
+	p.SetResource(2, ResProc, 150, 7, 30, 1000)
+	if bad := p.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("consistent profile reported violations: %v", bad)
+	}
+
+	p.Node(2, ResProc, HCWriteBack, 1) // now classes sum to 151 != busy 150
+	bad := p.CheckInvariants()
+	if len(bad) == 0 {
+		t.Fatal("unbalanced D-node attribution not reported")
+	}
+	if !strings.Contains(strings.Join(bad, "\n"), "node 2") {
+		t.Fatalf("violation does not name the node: %v", bad)
+	}
+
+	q := NewProfile()
+	q.EnsureNodes(1)
+	q.SetExec(1000)
+	q.AddPNode(0, 400, 300, 200, 950) // 400+300+200+50 = 950 != 1000
+	if bad := q.CheckInvariants(); len(bad) == 0 {
+		t.Fatal("unbalanced P-node accounting not reported")
+	}
+}
+
+// TestProfileFolded: the folded-stack export is sorted, uses the run label
+// as the root frame, and carries every attributed bucket.
+func TestProfileFolded(t *testing.T) {
+	p := NewProfile()
+	p.EnsureNodes(2)
+	p.SetMeta("agg/test")
+	p.SetExec(500)
+	p.AddPNode(0, 200, 100, 100, 400)
+	p.Node(1, ResProc, HCDirLookup, 80)
+	p.Node(1, ResDisk, HCPageout, 60)
+	p.SetResource(1, ResProc, 80, 2, 0, 500)
+	p.SetResource(1, ResDisk, 60, 1, 0, 500)
+	var b strings.Builder
+	if err := p.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"agg/test;pnode;busy 200",
+		"agg/test;pnode;idle 100",
+		"agg/test;node1;proc;dir-lookup 80",
+		"agg/test;node1;disk;pageout 60",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] {
+			t.Fatalf("folded output not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("folded line %q is not 'stack count'", line)
+		}
+	}
+}
+
+// TestProfileMeshSampling: every-64th-hop sampling is deterministic and the
+// ring keeps the most recent samples oldest-first.
+func TestProfileMeshSampling(t *testing.T) {
+	p := NewProfile()
+	p.SetMeshDims(2, 2)
+	var sampled int
+	for i := 0; i < 64*10; i++ {
+		if p.MeshHop(i%16, sim.Time(i)) {
+			sampled++
+			p.MeshSample(i%16, sim.Time(i), sim.Time(i), i%5)
+		}
+	}
+	if p.HopCount() != 640 {
+		t.Fatalf("HopCount = %d, want 640", p.HopCount())
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 640 hops, want 10 (every 64th)", sampled)
+	}
+	s := p.Samples()
+	if len(s) != 10 {
+		t.Fatalf("Samples() kept %d, want 10", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatalf("samples not oldest-first: %d after %d", s[i].At, s[i-1].At)
+		}
+	}
+	wh := p.WaitHist()
+	if wh.Total() != 640 {
+		t.Fatalf("wait histogram holds %d entries, want every hop (640)", wh.Total())
+	}
+	if p.WaitPercentile(0.5) > p.WaitPercentile(0.99) {
+		t.Fatal("wait percentiles not monotone")
+	}
+}
+
+// TestProfileReport: the rendered report carries the headline sections.
+func TestProfileReport(t *testing.T) {
+	p := NewProfile()
+	p.EnsureNodes(2)
+	p.SetMeshDims(2, 1)
+	p.SetMeta("agg/fft")
+	p.SetExec(1000)
+	p.AddPNode(0, 500, 300, 100, 900)
+	p.Node(1, ResProc, HCDirLookup, 200)
+	p.SetResource(1, ResProc, 200, 5, 0, 1000)
+	p.SetLink(0, 150, 3, 20)
+	var b strings.Builder
+	p.WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{"agg/fft", "P-nodes", "dir-lookup", "heatmap", "mesh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCriticalPathOf: the dominant phase and its resource mapping survive
+// aggregation over classes and directions.
+func TestCriticalPathOf(t *testing.T) {
+	s := NewSpans(0)
+	s.Begin(0, 1, 0x100, false)
+	s.Mark(PhaseNetRequest, 10)
+	s.Mark(PhaseDirOcc, 900)
+	s.Mark(PhaseNetReply, 950)
+	s.End(960, 3)
+	cp := CriticalPathOf(s)
+	if cp.Top != PhaseDirOcc {
+		t.Fatalf("top phase = %v, want dir-occ", cp.Top)
+	}
+	if cp.TopShare < 0.8 {
+		t.Fatalf("top share = %v, want > 0.8", cp.TopShare)
+	}
+	if got := cp.String(); !strings.Contains(got, "directory occupancy") {
+		t.Fatalf("String() = %q, want the resource named", got)
+	}
+	// Empty recorder: a zero critical path, not a panic.
+	empty := NewSpans(0)
+	if cp := CriticalPathOf(empty); cp.Total != 0 {
+		t.Fatalf("empty recorder critical path total = %d", cp.Total)
+	}
+}

@@ -214,6 +214,38 @@ func TestResourceBlockMerges(t *testing.T) {
 	}
 }
 
+func TestResourceQueueDepth(t *testing.T) {
+	var r Resource
+	if d := r.QueueDepth(0); d != 0 {
+		t.Fatalf("empty QueueDepth = %d, want 0", d)
+	}
+	r.Acquire(0, 100)  // [0,100)
+	r.Acquire(200, 50) // [200,250)
+	r.Acquire(400, 25) // [400,425)
+	for _, tc := range []struct {
+		at   Time
+		want int
+	}{
+		{0, 3},   // all three intervals still end after t=0
+		{99, 3},  // first interval ends at 100, still pending
+		{100, 2}, // first drained exactly at its end
+		{249, 2},
+		{250, 1},
+		{424, 1},
+		{425, 0},
+		{1000, 0},
+	} {
+		if d := r.QueueDepth(tc.at); d != tc.want {
+			t.Errorf("QueueDepth(%d) = %d, want %d", tc.at, d, tc.want)
+		}
+	}
+	// Abutting reservations merge into one busy episode.
+	r.Acquire(250, 100) // extends [200,250) to [200,350)
+	if d := r.QueueDepth(0); d != 3 {
+		t.Errorf("QueueDepth(0) after merge = %d, want 3 (abutting windows coalesce)", d)
+	}
+}
+
 // Property: for any sequence of (arrival time, hold), every service window
 // starts at or after its arrival and no two service windows overlap.
 func TestResourceNoOverlapProperty(t *testing.T) {

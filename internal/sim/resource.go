@@ -132,6 +132,24 @@ func (r *Resource) Block(from, to Time) {
 	r.iv = append(r.iv[:lo+1], r.iv[hi:]...)
 }
 
+// QueueDepth returns the number of calendar busy intervals that have not
+// fully drained at time at — a proxy for how much queued work remains.
+// Abutting reservations merge into one interval, so back-to-back traffic
+// counts as a single pending episode. It is a measurement hook for
+// profiling and never mutates the calendar.
+func (r *Resource) QueueDepth(at Time) int {
+	lo, hi := 0, len(r.iv)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.iv[mid].e > at {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return len(r.iv) - lo
+}
+
 // FreeAt returns the end of the last reservation (0 if never used).
 func (r *Resource) FreeAt() Time {
 	if len(r.iv) == 0 {

@@ -50,6 +50,42 @@ func (h *LatHist) Diff(prev *LatHist) LatHist {
 	return d
 }
 
+// Merge adds other's bucket counts into h.
+func (h *LatHist) Merge(other *LatHist) {
+	for i := range h {
+		h[i] += other[i]
+	}
+}
+
+// Percentile returns an upper bound on the q-quantile (0 < q ≤ 1) of the
+// recorded latencies: the upper bound of the first bucket whose cumulative
+// count reaches ⌈q·total⌉. An empty histogram returns 0; quantiles that land
+// in the overflow bucket return sim.Never.
+func (h *LatHist) Percentile(q float64) sim.Time {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h {
+		cum += h[i]
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return sim.Never
+}
+
 // BucketBound returns the inclusive upper latency bound of bucket i; the
 // last bucket is unbounded and returns sim.Never.
 func BucketBound(i int) sim.Time {

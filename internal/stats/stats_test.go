@@ -181,3 +181,80 @@ func TestDiffProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMerge: element-wise addition, including the overflow bucket.
+func TestMerge(t *testing.T) {
+	var a, b LatHist
+	a.Observe(5)
+	a.Observe(sim.Never) // overflow bucket
+	b.Observe(5)
+	b.Observe(100)
+	a.Merge(&b)
+	if got := a.Total(); got != 4 {
+		t.Fatalf("merged total = %d, want 4", got)
+	}
+	if a[NumLatBuckets-1] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", a[NumLatBuckets-1])
+	}
+	var empty LatHist
+	a.Merge(&empty)
+	if got := a.Total(); got != 4 {
+		t.Fatalf("merging an empty histogram changed total to %d", got)
+	}
+}
+
+// TestPercentileEdges pins the documented corner cases: an empty histogram
+// returns 0 for every quantile, a single-bucket histogram returns that
+// bucket's bound for every quantile, and mass in the overflow bucket
+// returns sim.Never (the bound is unknown).
+func TestPercentileEdges(t *testing.T) {
+	var empty LatHist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Percentile(q); got != 0 {
+			t.Fatalf("empty.Percentile(%g) = %d, want 0", q, got)
+		}
+	}
+
+	var single LatHist
+	for i := 0; i < 10; i++ {
+		single.Observe(100) // bits.Len64(100) = 7 -> bound 127
+	}
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := single.Percentile(q); got != 127 {
+			t.Fatalf("single.Percentile(%g) = %d, want 127", q, got)
+		}
+	}
+	// Out-of-range quantiles clamp rather than panic.
+	if got := single.Percentile(-1); got != 127 {
+		t.Fatalf("Percentile(-1) = %d, want 127", got)
+	}
+	if got := single.Percentile(2); got != 127 {
+		t.Fatalf("Percentile(2) = %d, want 127", got)
+	}
+
+	var over LatHist
+	over.Observe(1)
+	over.Observe(sim.Never)
+	if got := over.Percentile(0.5); got != 1 {
+		t.Fatalf("over.Percentile(0.5) = %d, want 1", got)
+	}
+	if got := over.Percentile(1); got != sim.Never {
+		t.Fatalf("over.Percentile(1) = %d, want sim.Never", got)
+	}
+}
+
+// TestPercentileMonotone: percentiles never decrease as q grows.
+func TestPercentileMonotone(t *testing.T) {
+	var h LatHist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(sim.Time(i))
+	}
+	prev := sim.Time(0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		p := h.Percentile(q)
+		if p < prev {
+			t.Fatalf("Percentile(%g) = %d < previous %d", q, p, prev)
+		}
+		prev = p
+	}
+}

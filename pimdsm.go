@@ -115,6 +115,25 @@ func NewSpans(keep int) *Spans { return obs.NewSpans(keep) }
 // `pimdsm spans dump` pretty-prints it.
 func WriteBinarySpans(w io.Writer, s *Spans) error { return s.WriteBinary(w) }
 
+// Profile is the sim-time accounting profiler: per-node cycle attribution by
+// protocol handler class, P-node busy/stall buckets, mesh-link utilization
+// with queue-depth samples, and folded-stack flamegraph export. Set one on
+// Config.Profile (or Options.Profile) to record a run; like Trace and Spans,
+// recording never changes simulation results.
+type Profile = obs.Profile
+
+// NewProfile returns an enabled profiler; node and mesh tables are sized
+// automatically when a run attaches it.
+func NewProfile() *Profile { return obs.NewProfile() }
+
+// WriteFoldedProfile writes p's cycle attribution as collapsed stacks — the
+// folded format consumed by speedscope, inferno and flamegraph.pl.
+func WriteFoldedProfile(w io.Writer, p *Profile) error { return p.WriteFolded(w) }
+
+// CriticalPath aggregates a span recorder and reports which transaction
+// phase — and machine resource — bounds end-to-end latency.
+func CriticalPath(s *Spans) obs.CritPath { return obs.CriticalPathOf(s) }
+
 // Dashboard serves live run state over HTTP: pre-rendered text sections plus
 // expvar and pprof. See Dashboard.ListenAndServe and the -http flag on
 // cmd/aggsim and cmd/figures.
