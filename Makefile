@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,15 @@ check-stats:
 	@if $(GO) run ./cmd/checkstats -inject 0.05 >/dev/null 2>&1; then \
 		echo "check-stats: SELF-TEST FAILED - injected 5% regression not caught"; exit 1; \
 	else echo "check-stats: self-test ok (injected 5% regression caught)"; fi
+
+# serve-smoke is the aggsimd end-to-end gate, run under the race detector:
+# boot the daemon on an ephemeral port, submit a small Figure 6 batch twice
+# (the second must be served byte-identical from cache, proven by the
+# engine-cycle counters), storm it at 4x the admission window (bounded-queue
+# rejections), shut down gracefully, and restart against the persisted
+# cache index.
+serve-smoke:
+	$(GO) test -race -count 1 -run 'TestServeSmoke|TestSmokeMetricsArtifact' ./cmd/aggsimd
 
 # bench-json snapshots simulator wall-clock throughput into a dated JSON
 # file; committing snapshots over time tracks the perf trajectory.

@@ -38,6 +38,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"runtime"
@@ -192,27 +193,13 @@ func realMain() int {
 		}
 	}
 	if *folded != "" {
-		f, err := os.Create(*folded)
-		if err == nil {
-			err = pimdsm.WriteFoldedProfile(f, prof)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+		if err := pimdsm.WriteFileAtomic(*folded, func(w io.Writer) error { return pimdsm.WriteFoldedProfile(w, prof) }); err != nil {
 			fmt.Fprintln(os.Stderr, "folded:", err)
 			return 1
 		}
 	}
 	if *spansOut != "" {
-		f, err := os.Create(*spansOut)
-		if err == nil {
-			err = pimdsm.WriteBinarySpans(f, spans)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
-		if err != nil {
+		if err := pimdsm.WriteFileAtomic(*spansOut, func(w io.Writer) error { return pimdsm.WriteBinarySpans(w, spans) }); err != nil {
 			fmt.Fprintln(os.Stderr, "spans-out:", err)
 			return 1
 		}
@@ -250,20 +237,11 @@ func realMain() int {
 }
 
 // writeObservers flushes the trace and metrics outputs that were requested.
+// Every artifact is written atomically (temp file + rename), so a failed or
+// interrupted writer never truncates a previous good artifact.
 func writeObservers(tr *pimdsm.Trace, reg *pimdsm.Metrics, tracePath, traceBin, metricsOut string) error {
-	write := func(path string, fn func(*os.File) error) error {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
 	if tracePath != "" {
-		if err := write(tracePath, func(f *os.File) error { return pimdsm.WriteChromeTrace(f, tr) }); err != nil {
+		if err := pimdsm.WriteFileAtomic(tracePath, func(w io.Writer) error { return pimdsm.WriteChromeTrace(w, tr) }); err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
 		if d := tr.Dropped(); d > 0 {
@@ -271,12 +249,12 @@ func writeObservers(tr *pimdsm.Trace, reg *pimdsm.Metrics, tracePath, traceBin, 
 		}
 	}
 	if traceBin != "" {
-		if err := write(traceBin, func(f *os.File) error { return pimdsm.WriteBinaryTrace(f, tr) }); err != nil {
+		if err := pimdsm.WriteFileAtomic(traceBin, func(w io.Writer) error { return pimdsm.WriteBinaryTrace(w, tr) }); err != nil {
 			return fmt.Errorf("trace-bin: %w", err)
 		}
 	}
 	if metricsOut != "" {
-		if err := write(metricsOut, func(f *os.File) error { return reg.WriteJSON(f) }); err != nil {
+		if err := pimdsm.WriteFileAtomic(metricsOut, func(w io.Writer) error { return reg.WriteJSON(w) }); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
 	}

@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -205,20 +206,11 @@ func realMain() int {
 }
 
 // writeObservers flushes the shared trace / metrics outputs, if requested.
+// Artifacts are written atomically (temp file + rename): a failed batch
+// never truncates the previous good trace or metrics dump.
 func writeObservers(opt pimdsm.Options, tracePath, metricsOut string) error {
-	write := func(path string, fn func(*os.File) error) error {
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		return f.Close()
-	}
 	if tracePath != "" {
-		err := write(tracePath, func(f *os.File) error { return pimdsm.WriteChromeTrace(f, opt.Trace) })
+		err := pimdsm.WriteFileAtomic(tracePath, func(w io.Writer) error { return pimdsm.WriteChromeTrace(w, opt.Trace) })
 		if err != nil {
 			return fmt.Errorf("trace: %w", err)
 		}
@@ -228,7 +220,7 @@ func writeObservers(opt pimdsm.Options, tracePath, metricsOut string) error {
 		}
 	}
 	if metricsOut != "" {
-		if err := write(metricsOut, func(f *os.File) error { return opt.Metrics.WriteJSON(f) }); err != nil {
+		if err := pimdsm.WriteFileAtomic(metricsOut, func(w io.Writer) error { return opt.Metrics.WriteJSON(w) }); err != nil {
 			return fmt.Errorf("metrics-out: %w", err)
 		}
 	}

@@ -6,6 +6,13 @@
 //	pimdsm spans dump f.bin [-limit 100]
 //	pimdsm analyze metrics.json|spans.pds1
 //
+// and its service group is the client of the aggsimd daemon:
+//
+//	pimdsm submit [-addr host:port] [-figure6] -app fft [-wait] [-progress]
+//	pimdsm status [-addr host:port] <job-id>
+//	pimdsm result [-addr host:port] <job-id> [-o out.json]
+//	pimdsm jobs   [-addr host:port]
+//
 // `trace dump` pretty-prints events recorded by `aggsim -trace-bin` in
 // sim-time order with per-kind totals; `trace convert` rewrites a binary
 // trace as Chrome trace_event JSON (loadable in chrome://tracing or
@@ -40,6 +47,14 @@ func realMain(args []string) int {
 		return spansCmd(args[1:])
 	case "analyze":
 		return analyzeCmd(args[1:])
+	case "submit":
+		return submitCmd(args[1:])
+	case "status":
+		return statusCmd(args[1:])
+	case "result":
+		return resultCmd(args[1:])
+	case "jobs":
+		return jobsCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
 		usage()
@@ -52,6 +67,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       pimdsm trace convert <f.bin> <f.json>")
 	fmt.Fprintln(os.Stderr, "       pimdsm spans dump <f.bin> [-limit n]")
 	fmt.Fprintln(os.Stderr, "       pimdsm analyze <metrics.json|spans.pds1>")
+	fmt.Fprintln(os.Stderr, "       pimdsm submit [-addr host:port] [-figure6] -app a [-wait]")
+	fmt.Fprintln(os.Stderr, "       pimdsm status [-addr host:port] <job-id>")
+	fmt.Fprintln(os.Stderr, "       pimdsm result [-addr host:port] <job-id> [-o out.json]")
+	fmt.Fprintln(os.Stderr, "       pimdsm jobs   [-addr host:port]")
 }
 
 func traceCmd(args []string) int {

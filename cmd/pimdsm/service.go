@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pimdsm"
+)
+
+// submitCmd posts a job to an aggsimd daemon: either the standard Figure-6
+// batch for an application (-figure6) or a single configuration described
+// by the same flags aggsim takes.
+func submitCmd(args []string) int {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	name := fs.String("name", "", "job name (shown in listings)")
+	priority := fs.Int("priority", 0, "scheduling priority (higher runs first)")
+	seed := fs.Uint64("seed", 0, "cache-key seed (reserved; 0 is fine)")
+	metrics := fs.Bool("metrics", false, "attach a per-job metrics artifact")
+	spans := fs.Bool("spans", false, "attach a per-job span artifact (runs serial)")
+	wait := fs.Bool("wait", false, "poll until the job finishes and print the final status")
+	progress := fs.Bool("progress", false, "stream job progress to stderr (implies -wait)")
+	fig6 := fs.Bool("figure6", false, "submit the paper's Figure 6 batch for -app")
+	arch := fs.String("arch", "agg", "architecture: agg, numa or coma")
+	app := fs.String("app", "fft", "application")
+	scale := fs.Float64("scale", 1.0, "workload scale factor")
+	threads := fs.Int("threads", 32, "application threads")
+	pressure := fs.Float64("pressure", 0.75, "memory pressure")
+	dratio := fs.Int("dratio", 1, "AGG P:D ratio denominator")
+	dnodes := fs.Int("dnodes", 0, "explicit AGG D-node count (overrides -dratio)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := pimdsm.JobSpec{
+		Name:     *name,
+		Priority: *priority,
+		Seed:     *seed,
+		Metrics:  *metrics,
+		Spans:    *spans,
+	}
+	if *fig6 {
+		spec.Configs = pimdsm.Figure6Specs(*app, *threads, *scale)
+		if spec.Name == "" {
+			spec.Name = "figure6-" + *app
+		}
+	} else {
+		spec.Configs = []pimdsm.ConfigSpec{pimdsm.SpecOfConfig(pimdsm.Config{
+			Arch:     pimdsm.Arch(*arch),
+			App:      pimdsm.App(*app, *scale),
+			Threads:  *threads,
+			Pressure: *pressure,
+			DRatio:   *dratio,
+			DNodes:   *dnodes,
+		})}
+	}
+
+	c := pimdsm.NewServiceClient(*addr)
+	st, err := c.Submit(spec)
+	if err != nil {
+		if be, ok := err.(*pimdsm.BusyError); ok {
+			fmt.Fprintf(os.Stderr, "pimdsm submit: server busy, retry in %s\n", be.RetryAfter)
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "pimdsm submit:", err)
+		return 1
+	}
+	fmt.Printf("%s %s (%d configs)\n", st.ID, st.State, st.Total)
+	if !*wait && !*progress {
+		return 0
+	}
+	if *progress {
+		if err := c.StreamProgress(context.Background(), st.ID, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm submit:", err)
+			return 1
+		}
+	}
+	final, err := c.Wait(context.Background(), st.ID, 200*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm submit:", err)
+		return 1
+	}
+	printStatus(final)
+	if final.State != pimdsm.JobDone {
+		return 1
+	}
+	return 0
+}
+
+func printStatus(st pimdsm.JobStatus) {
+	fmt.Printf("%s %-8s %d/%d done, %d cached, %d simulated, %d joined",
+		st.ID, st.State, st.Done, st.Total, st.CacheHits, st.Simulated, st.Joins)
+	if st.Name != "" {
+		fmt.Printf("  (%s)", st.Name)
+	}
+	if st.Error != "" {
+		fmt.Printf("  error: %s", st.Error)
+	}
+	fmt.Println()
+}
+
+// addrAndID parses the common "[-addr host:port] <job-id>" shape, accepting
+// the id before or after the flags.
+func addrAndID(cmd string, args []string) (addr, id string, extra *flag.FlagSet, ok bool) {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	a := fs.String("addr", "localhost:8977", "aggsimd address")
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return "", "", nil, false
+	}
+	if id == "" && fs.NArg() > 0 {
+		id = fs.Arg(0)
+	}
+	if id == "" {
+		fmt.Fprintf(os.Stderr, "pimdsm %s: need a job id\n", cmd)
+		return "", "", nil, false
+	}
+	return *a, id, fs, true
+}
+
+func statusCmd(args []string) int {
+	addr, id, _, ok := addrAndID("status", args)
+	if !ok {
+		return 2
+	}
+	st, err := pimdsm.NewServiceClient(addr).Status(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm status:", err)
+		return 1
+	}
+	printStatus(st)
+	return 0
+}
+
+func resultCmd(args []string) int {
+	fs := flag.NewFlagSet("result", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	out := fs.String("o", "", "write the result envelope JSON to this file (atomic) instead of stdout")
+	// Accept the job id anywhere among the flags (the flag package stops at
+	// the first non-flag argument, so re-parse whatever follows the id).
+	var id string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		if id == "" {
+			id = fs.Arg(0)
+		}
+		args = fs.Args()[1:]
+	}
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "pimdsm result: need a job id")
+		return 2
+	}
+	st, results, err := pimdsm.NewServiceClient(*addr).Result(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm result:", err)
+		return 1
+	}
+	env := struct {
+		Job     pimdsm.JobStatus  `json:"job"`
+		Results []json.RawMessage `json:"results"`
+	}{Job: st, Results: results}
+	writeOut := func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(env)
+	}
+	if *out != "" {
+		if err := pimdsm.WriteFileAtomic(*out, writeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm result:", err)
+			return 1
+		}
+		fmt.Printf("%s: %d results -> %s\n", st.ID, len(results), *out)
+		return 0
+	}
+	if err := writeOut(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm result:", err)
+		return 1
+	}
+	return 0
+}
+
+func jobsCmd(args []string) int {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	c := pimdsm.NewServiceClient(*addr)
+	jobs, err := c.Jobs()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm jobs:", err)
+		return 1
+	}
+	if len(jobs) == 0 {
+		fmt.Println("no jobs")
+		return 0
+	}
+	for _, st := range jobs {
+		printStatus(st)
+	}
+	if st, err := c.Stats(); err == nil {
+		fmt.Printf("server: queue %d/%d, running %d; cache %d/%d (%d hits, %d misses); %d runs simulated\n",
+			st.Queued, st.QueueLimit, st.Running,
+			st.Cache.Entries, st.Cache.Limit, st.Cache.Hits, st.Cache.Misses, st.SimulatedRuns)
+	}
+	return 0
+}

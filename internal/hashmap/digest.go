@@ -1,0 +1,63 @@
+package hashmap
+
+import "math"
+
+// Digest is a streaming 64-bit hash for building content-addressed keys out
+// of heterogeneous fields. It reuses the package's Fibonacci multiplier for
+// per-word diffusion and a splitmix64 finalizer for avalanche, so keys built
+// from structured configs (many shared low bits, few distinct fields) spread
+// across the whole 64-bit space.
+//
+// The digest is sequence-sensitive: the same fields written in a different
+// order produce a different sum. Writers length-prefix variable-size inputs,
+// so no two distinct field sequences collide by concatenation.
+//
+// STABILITY: cache keys persisted by internal/serve are derived from this
+// digest. The mixing constants and write encodings below are frozen — any
+// change must bump the serve key version so stale persisted indexes are
+// discarded instead of silently mismatching.
+type Digest struct {
+	h uint64
+	n uint64 // words absorbed, folded into Sum64 against extension
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// WriteUint64 absorbs one 64-bit word.
+func (d *Digest) WriteUint64(v uint64) {
+	d.h = mix64(d.h*fibMul + v)
+	d.n++
+}
+
+// WriteInt absorbs an int (as its 64-bit two's-complement image).
+func (d *Digest) WriteInt(v int) { d.WriteUint64(uint64(int64(v))) }
+
+// WriteFloat64 absorbs a float64 by bit pattern. Note +0 and -0 differ.
+func (d *Digest) WriteFloat64(v float64) { d.WriteUint64(math.Float64bits(v)) }
+
+// WriteString absorbs a length-prefixed string, 8 little-endian bytes per
+// word with zero padding in the final word.
+func (d *Digest) WriteString(s string) {
+	d.WriteUint64(uint64(len(s)))
+	var w uint64
+	var k uint
+	for i := 0; i < len(s); i++ {
+		w |= uint64(s[i]) << (8 * k)
+		if k++; k == 8 {
+			d.WriteUint64(w)
+			w, k = 0, 0
+		}
+	}
+	if k > 0 {
+		d.WriteUint64(w)
+	}
+}
+
+// Sum64 returns the digest of everything written so far. The digest remains
+// usable (Sum64 does not reset it).
+func (d *Digest) Sum64() uint64 { return mix64(d.h ^ d.n*fibMul) }

@@ -1,0 +1,69 @@
+package hashmap
+
+import "testing"
+
+func TestDigestDeterministic(t *testing.T) {
+	sum := func() uint64 {
+		var d Digest
+		d.WriteString("agg")
+		d.WriteString("fft")
+		d.WriteFloat64(1.0)
+		d.WriteInt(32)
+		d.WriteUint64(7)
+		return d.Sum64()
+	}
+	if sum() != sum() {
+		t.Fatal("same writes, different sums")
+	}
+}
+
+func TestDigestOrderAndFieldsMatter(t *testing.T) {
+	h := func(fn func(*Digest)) uint64 {
+		var d Digest
+		fn(&d)
+		return d.Sum64()
+	}
+	a := h(func(d *Digest) { d.WriteUint64(1); d.WriteUint64(2) })
+	b := h(func(d *Digest) { d.WriteUint64(2); d.WriteUint64(1) })
+	if a == b {
+		t.Fatal("order-insensitive digest")
+	}
+	// Concatenation must not collide: ("ab","c") vs ("a","bc").
+	c := h(func(d *Digest) { d.WriteString("ab"); d.WriteString("c") })
+	e := h(func(d *Digest) { d.WriteString("a"); d.WriteString("bc") })
+	if c == e {
+		t.Fatal("length prefix failed: concatenated strings collide")
+	}
+	// A trailing zero word is distinct from absence.
+	f := h(func(d *Digest) { d.WriteUint64(1) })
+	g := h(func(d *Digest) { d.WriteUint64(1); d.WriteUint64(0) })
+	if f == g {
+		t.Fatal("extension with zero word collides")
+	}
+	if h(func(d *Digest) {}) == f {
+		t.Fatal("empty digest equals one-word digest")
+	}
+}
+
+func TestDigestDistribution(t *testing.T) {
+	// Sequential integers (the worst case for the simulator's aligned
+	// addresses) must not collide and must spread across high bits.
+	seen := make(map[uint64]bool)
+	var hi [16]int
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		var d Digest
+		d.WriteUint64(uint64(i))
+		s := d.Sum64()
+		if seen[s] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[s] = true
+		hi[s>>60]++
+	}
+	for b, c := range hi {
+		if c < n/16/2 || c > n/16*2 {
+			t.Fatalf("high-nibble bucket %d has %d of %d sums (poor diffusion)", b, c, n)
+		}
+	}
+}

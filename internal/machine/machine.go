@@ -375,7 +375,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.Metrics != nil {
-		collectMetrics(cfg.Metrics, res)
+		CollectMetrics(cfg.Metrics, res)
 	}
 	if cfg.Profile != nil && cfg.Profile.On() {
 		prof := cfg.Profile
@@ -402,11 +402,12 @@ func Run(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// collectMetrics folds a run's measurements into a registry: the coherence
+// CollectMetrics folds a run's measurements into a registry: the coherence
 // counters (obs.CollectMachine), mesh traffic, and the Figure 6 breakdown.
 // Counters accumulate across runs sharing the registry; gauges hold the last
-// run's values.
-func collectMetrics(r *obs.Registry, res *Result) {
+// run's values. It only reads Result, so the service layer can fold metrics
+// for cache-served results identically to freshly simulated ones.
+func CollectMetrics(r *obs.Registry, res *Result) {
 	obs.CollectMachine(r, &res.Machine)
 	r.Counter("mesh.messages").Add(res.Mesh.Messages)
 	r.Counter("mesh.bytes").Add(res.Mesh.Bytes)

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a result artifact (trace JSON, metrics dump, span
+// file, cache index, ...) by streaming into a temp file in the same
+// directory and renaming it over path only after the write, flush and sync
+// all succeed. A crashed or failed run therefore never leaves a truncated
+// artifact where a previous good one stood — readers see the old bytes or
+// the new bytes, nothing in between.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if err = write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// listDir returns the directory's entries, to prove no temp files leak.
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomicSuccess(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "{\"ok\":1}\n")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "{\"ok\":1}\n" {
+		t.Fatalf("content %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("temp file litter: %v", names)
+	}
+}
+
+// TestWriteFileAtomicFailureKeepsOldArtifact injects a write error and
+// asserts the previous artifact survives untouched and no temp file is left
+// behind — the whole point of the temp-file + rename protocol.
+func TestWriteFileAtomicFailureKeepsOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(path, []byte("previous good artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a new artifa") // partial write, then failure
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected write error", err)
+	}
+	if got := readFile(t, path); got != "previous good artifact" {
+		t.Fatalf("failed write clobbered the previous artifact: %q", got)
+	}
+	if names := listDir(t, dir); len(names) != 1 || names[0] != "trace.json" {
+		t.Fatalf("failed write left litter: %v", names)
+	}
+}
+
+// TestWriteFileAtomicLargeWrite pushes well past the bufio buffer so the
+// flush path (not just the buffered fast path) is covered.
+func TestWriteFileAtomicLargeWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.json")
+	var want strings.Builder
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		for i := 0; i < 50000; i++ {
+			line := fmt.Sprintf("row %d\n", i)
+			want.WriteString(line)
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != want.String() {
+		t.Fatalf("large write mangled: %d bytes vs %d", len(got), want.Len())
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f.json"),
+		func(w io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("writing into a missing directory should fail, not create it")
+	}
+}

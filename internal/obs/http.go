@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Dashboard serves live snapshots of a running simulation over HTTP without
@@ -108,6 +109,24 @@ func (d *Dashboard) Handler() http.Handler {
 	return mux
 }
 
+// NewHTTPServer wraps h in an http.Server hardened against slow or
+// malicious clients: a connection that trickles its headers, never finishes
+// its body, or never reads its response is torn down instead of pinning a
+// goroutine and file descriptor forever. The write timeout is generous
+// because legitimate responses stream for a while (a CPU profile runs 30s
+// by default; a job progress stream follows a whole batch) — clients of
+// longer jobs reconnect and resume polling.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // ListenAndServe binds addr (e.g. "localhost:8080" or ":0" for an ephemeral
 // port) and serves the dashboard on a background goroutine, returning the
 // bound address. The listener lives until the process exits: the dashboard
@@ -117,7 +136,7 @@ func (d *Dashboard) ListenAndServe(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	srv := &http.Server{Handler: d.Handler()}
+	srv := NewHTTPServer(d.Handler())
 	go srv.Serve(ln)
 	return ln.Addr().String(), nil
 }

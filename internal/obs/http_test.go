@@ -2,10 +2,12 @@ package obs
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pimdsm/internal/proto"
 	"pimdsm/internal/sim"
@@ -79,6 +81,57 @@ func TestSpansMirror(t *testing.T) {
 	body := d.Section("spans")
 	if !strings.Contains(body, "recent spans") || !strings.Contains(body, "Memory") {
 		t.Fatalf("mirrored section = %q", body)
+	}
+}
+
+// TestNewHTTPServerHardening pins the slow-client protections: every
+// timeout and the header-size bound must be set, and oversized request
+// headers must be rejected rather than buffered without bound.
+func TestNewHTTPServerHardening(t *testing.T) {
+	hs := NewHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "served")
+	}))
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.WriteTimeout <= 0 || hs.IdleTimeout <= 0 {
+		t.Fatalf("a timeout is unset: header=%v read=%v write=%v idle=%v",
+			hs.ReadHeaderTimeout, hs.ReadTimeout, hs.WriteTimeout, hs.IdleTimeout)
+	}
+	if hs.WriteTimeout < 35*time.Second {
+		t.Fatalf("WriteTimeout %v would cut off a default 30s pprof CPU profile", hs.WriteTimeout)
+	}
+	if hs.MaxHeaderBytes <= 0 {
+		t.Fatal("MaxHeaderBytes unset: header size is unbounded")
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	defer hs.Close()
+	addr := ln.Addr().String()
+
+	resp, err := http.Get("http://" + addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "served" {
+		t.Fatalf("hardened server broke normal requests: %q", body)
+	}
+
+	// A request whose headers exceed MaxHeaderBytes must be refused.
+	req, err := http.NewRequest("GET", "http://"+addr+"/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Padding", strings.Repeat("a", 2*hs.MaxHeaderBytes))
+	resp2, err := http.DefaultClient.Do(req)
+	if err == nil {
+		defer resp2.Body.Close()
+		if resp2.StatusCode != http.StatusRequestHeaderFieldsTooLarge {
+			t.Fatalf("oversized headers served %d, want 431 or a refused connection", resp2.StatusCode)
+		}
 	}
 }
 

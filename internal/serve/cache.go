@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"pimdsm/internal/hashmap"
+	"pimdsm/internal/machine"
+)
+
+// entry is one cached result on the LRU list (head = most recently used).
+type entry struct {
+	key        uint64
+	seed       uint64
+	spec       ConfigSpec
+	res        *machine.Result
+	js         []byte // canonical JSON of res, the byte-identity the API serves
+	prev, next *entry
+}
+
+// flight is one in-progress simulation of a key. The owning job resolves it
+// exactly once; every other job wanting the same key blocks on done instead
+// of simulating again (singleflight).
+type flight struct {
+	done chan struct{}
+	res  *machine.Result
+	js   []byte
+	err  error
+}
+
+// Cache is the content-addressed result store: an open-addressed index
+// (internal/hashmap) over an intrusive LRU list bounded to max entries, plus
+// the in-flight registry that collapses duplicate work.
+type Cache struct {
+	mu         sync.Mutex
+	max        int
+	m          hashmap.Map[*entry]
+	inflight   hashmap.Map[*flight]
+	head, tail *entry
+
+	hits, misses, joins, evictions uint64
+}
+
+// NewCache returns a cache bounded to max entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Len()
+}
+
+// touch moves e to the head of the LRU list. Caller holds mu.
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.head == e {
+		c.head = e.next
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Acquire resolves key in one atomic step. Exactly one of three outcomes:
+//
+//   - cache hit: res/js returned, hit=true;
+//   - join: another job is already simulating this key — fl is its flight,
+//     owner=false; wait on fl.done, then read fl.res/fl.js/fl.err;
+//   - own: the caller must simulate and then call Fulfill or Abort — fl is
+//     the caller's own flight, owner=true.
+func (c *Cache) Acquire(key uint64) (res *machine.Result, js []byte, hit bool, fl *flight, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m.Get(key); ok {
+		c.hits++
+		c.touch(e)
+		return e.res, e.js, true, nil, false
+	}
+	if f, ok := c.inflight.Get(key); ok {
+		c.joins++
+		return nil, nil, false, f, false
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight.Put(key, f)
+	return nil, nil, false, f, true
+}
+
+// Fulfill resolves the caller-owned flight for key with a computed result
+// and inserts it into the cache, evicting from the LRU tail past the bound.
+func (c *Cache) Fulfill(key, seed uint64, spec ConfigSpec, res *machine.Result, js []byte) {
+	c.mu.Lock()
+	if f, ok := c.inflight.Get(key); ok {
+		f.res, f.js = res, js
+		c.inflight.Delete(key)
+		defer close(f.done)
+	}
+	c.insert(key, seed, spec, res, js)
+	c.mu.Unlock()
+}
+
+// Abort resolves the caller-owned flight for key with an error; nothing is
+// cached, so a later submission retries the simulation.
+func (c *Cache) Abort(key uint64, err error) {
+	c.mu.Lock()
+	if f, ok := c.inflight.Get(key); ok {
+		f.err = err
+		c.inflight.Delete(key)
+		defer close(f.done)
+	}
+	c.mu.Unlock()
+}
+
+// insert adds (or refreshes) an entry. Caller holds mu.
+func (c *Cache) insert(key, seed uint64, spec ConfigSpec, res *machine.Result, js []byte) {
+	if e, ok := c.m.Get(key); ok {
+		e.res, e.js = res, js
+		c.touch(e)
+		return
+	}
+	e := &entry{key: key, seed: seed, spec: spec, res: res, js: js}
+	c.m.Put(key, e)
+	c.touch(e)
+	for c.m.Len() > c.max && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		c.m.Delete(victim.key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a counters snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Limit     int    `json:"limit"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Joins     uint64 `json:"singleflight_joins"`
+	Evictions uint64 `json:"evictions"`
+	InFlight  int    `json:"in_flight"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.m.Len(),
+		Limit:     c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Joins:     c.joins,
+		Evictions: c.evictions,
+		InFlight:  c.inflight.Len(),
+	}
+}
+
+// keys returns the cached keys from least to most recently used (test and
+// persistence order: reinserting in this order reproduces the LRU state).
+func (c *Cache) keysLRU() []uint64 {
+	var ks []uint64
+	for e := c.tail; e != nil; e = e.prev {
+		ks = append(ks, e.key)
+	}
+	return ks
+}
+
+// canonicalResultJSON is the one serialization every byte-identity claim in
+// the service refers to: encoding/json with sorted map keys, no indentation.
+func canonicalResultJSON(res *machine.Result) ([]byte, error) {
+	return json.Marshal(res)
+}
+
+// indexEntry is the persisted form of one cache entry.
+type indexEntry struct {
+	Key    string          `json:"key"` // hex; recomputed and verified on load
+	Seed   uint64          `json:"seed,omitempty"`
+	Spec   ConfigSpec      `json:"spec"`
+	Result json.RawMessage `json:"result"`
+}
+
+// index is the persisted cache file.
+type index struct {
+	Version int          `json:"version"`
+	Entries []indexEntry `json:"entries"` // least to most recently used
+}
+
+// Snapshot serializes the cache index (least to most recently used, so a
+// load replays into the same LRU order).
+func (c *Cache) Snapshot() *index {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := &index{Version: KeyVersion}
+	for e := c.tail; e != nil; e = e.prev {
+		idx.Entries = append(idx.Entries, indexEntry{
+			Key:    fmt.Sprintf("%016x", e.key),
+			Seed:   e.seed,
+			Spec:   e.spec,
+			Result: json.RawMessage(e.js),
+		})
+	}
+	return idx
+}
+
+// LoadIndex replays a persisted index into the cache. Entries whose stored
+// key does not match the current derivation (version skew, hand-edited
+// file) are skipped, not served: the key contract is verified, never
+// trusted. Returns how many entries were restored.
+func (c *Cache) LoadIndex(idx *index) int {
+	if idx.Version != KeyVersion {
+		return 0
+	}
+	n := 0
+	for _, ie := range idx.Entries {
+		want := ie.Spec.Key(ie.Seed)
+		if fmt.Sprintf("%016x", want) != ie.Key {
+			continue
+		}
+		var res machine.Result
+		if err := json.Unmarshal(ie.Result, &res); err != nil {
+			continue
+		}
+		js := append([]byte(nil), ie.Result...)
+		c.mu.Lock()
+		c.insert(want, ie.Seed, ie.Spec, &res, js)
+		c.mu.Unlock()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to an aggsimd daemon over its JSON/HTTP API.
+type Client struct {
+	// Base is the daemon address: "host:port" or a full "http://..." URL.
+	Base string
+	// HTTP overrides the transport (nil means http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the daemon at addr.
+func NewClient(addr string) *Client { return &Client{Base: addr} }
+
+func (c *Client) url(path string) string {
+	base := c.Base
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return strings.TrimRight(base, "/") + path
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a non-2xx response into an error; 429 becomes *BusyError.
+func apiError(resp *http.Response, body []byte) error {
+	var eb errorBody
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		msg = eb.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		sec := eb.RetryAfterSec
+		if sec < 1 {
+			sec = 1
+		}
+		return &BusyError{RetryAfter: time.Duration(sec) * time.Second}
+	}
+	return fmt.Errorf("serve: %s: %s", resp.Status, msg)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Submit posts a job. A full admission window surfaces as *BusyError with
+// the server's retry-after hint.
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.httpClient().Post(c.url("/api/v1/jobs"), "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return st, apiError(resp, body)
+	}
+	return st, json.Unmarshal(body, &st)
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.get("/api/v1/jobs/"+id, &st)
+	return st, err
+}
+
+// Jobs lists every job on the daemon.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	err := c.get("/api/v1/jobs", &out)
+	return out.Jobs, err
+}
+
+// Result fetches a finished job's results. The returned raw messages are
+// the canonical result JSON, byte-identical to what a direct run encodes.
+func (c *Client) Result(id string) (JobStatus, []json.RawMessage, error) {
+	var env resultEnvelope
+	if err := c.get("/api/v1/jobs/"+id+"/result", &env); err != nil {
+		return JobStatus{}, nil, err
+	}
+	return env.Job, env.Results, nil
+}
+
+// Metrics fetches a finished job's metrics registry JSON.
+func (c *Client) Metrics(id string) ([]byte, error) {
+	return c.raw("/api/v1/jobs/" + id + "/metrics")
+}
+
+// Spans fetches a finished job's span recorder in PDS1 binary form.
+func (c *Client) Spans(id string) ([]byte, error) {
+	return c.raw("/api/v1/jobs/" + id + "/spans")
+}
+
+func (c *Client) raw(path string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.url(path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp, body)
+	}
+	return body, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (ServerStats, error) {
+	var st ServerStats
+	err := c.get("/api/v1/stats", &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state (or ctx expires) and
+// returns the final status.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobAborted:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// StreamProgress copies the job's plain-text progress stream to w until the
+// job finishes or ctx is canceled.
+func (c *Client) StreamProgress(ctx context.Context, id string, w io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.url("/api/v1/jobs/"+id+"/progress"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(resp.Body)
+		return apiError(resp, body)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pimdsm/internal/obs"
+)
+
+// API is the service's JSON/HTTP surface over a Server, optionally mounted
+// alongside an obs.Dashboard (which keeps its routes: /, /spans, /metrics,
+// /profile, /debug/vars, /debug/pprof/).
+//
+// Routes:
+//
+//	POST /api/v1/jobs              submit a JobSpec  (202, or 429 + Retry-After)
+//	GET  /api/v1/jobs              list jobs
+//	GET  /api/v1/jobs/{id}         job status
+//	GET  /api/v1/jobs/{id}/result  results (canonical JSON, input order)
+//	GET  /api/v1/jobs/{id}/metrics job metrics registry JSON
+//	GET  /api/v1/jobs/{id}/spans   job span recorder (PDS1 binary)
+//	GET  /api/v1/jobs/{id}/progress plain-text progress stream until done
+//	GET  /api/v1/stats             server + cache counters
+//	GET  /healthz                  liveness
+type API struct {
+	srv  *Server
+	dash *obs.Dashboard
+}
+
+// NewAPI wraps a server; dash may be nil.
+func NewAPI(srv *Server, dash *obs.Dashboard) *API { return &API{srv: srv, dash: dash} }
+
+// resultEnvelope is the GET .../result payload. Results holds each run's
+// canonical JSON verbatim, so the bytes a client extracts are exactly the
+// bytes the cache stores.
+type resultEnvelope struct {
+	Job     JobStatus         `json:"job"`
+	Results []json.RawMessage `json:"results"`
+}
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// Handler returns the API mux; dashboard routes (when a dashboard was
+// given) serve everything outside /api/v1 and /healthz.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", a.submit)
+	mux.HandleFunc("GET /api/v1/jobs", a.list)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", a.status)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", a.result)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", a.metrics)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", a.spans)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", a.progress)
+	mux.HandleFunc("GET /api/v1/stats", a.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	if a.dash != nil {
+		mux.Handle("/", a.dash.Handler())
+	}
+	return mux
+}
+
+// ListenAndServe binds addr (":0" for an ephemeral port) and serves the API
+// on a hardened obs.NewHTTPServer in the background, returning the bound
+// address and a closer that shuts the HTTP listener down.
+func (a *API) ListenAndServe(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	hs := obs.NewHTTPServer(a.Handler())
+	go hs.Serve(ln)
+	return ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+func (a *API) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	st, err := a.srv.Submit(spec)
+	if err != nil {
+		switch e := err.(type) {
+		case *BusyError:
+			sec := int(e.RetryAfter / time.Second)
+			if sec < 1 {
+				sec = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprint(sec))
+			writeJSON(w, http.StatusTooManyRequests,
+				errorBody{Error: err.Error(), RetryAfterSec: sec})
+		default:
+			if err == ErrDraining {
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: a.srv.Jobs()})
+}
+
+// jobFor resolves {id} or writes a 404.
+func (a *API) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := a.srv.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job "+id)
+	}
+	return j, ok
+}
+
+func (a *API) status(w http.ResponseWriter, r *http.Request) {
+	if j, ok := a.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, a.srv.Status(j))
+	}
+}
+
+func (a *API) result(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := a.srv.Status(j)
+	_, js, done := a.srv.Results(j)
+	if !done {
+		code := http.StatusConflict
+		if st.State == JobFailed || st.State == JobAborted {
+			writeJSON(w, code, errorBody{Error: fmt.Sprintf("job %s %s: %s", st.ID, st.State, st.Error)})
+			return
+		}
+		writeJSON(w, code, errorBody{Error: fmt.Sprintf("job %s is %s (%d/%d)", st.ID, st.State, st.Done, st.Total)})
+		return
+	}
+	env := resultEnvelope{Job: st, Results: make([]json.RawMessage, len(js))}
+	for i, b := range js {
+		env.Results[i] = json.RawMessage(b)
+	}
+	// No indentation here: an indenting encoder reformats the raw messages,
+	// and this endpoint's contract is that each result is the cache's
+	// canonical bytes verbatim.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	json.NewEncoder(w).Encode(env)
+}
+
+func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.jobFor(w, r)
+	if !ok {
+		return
+	}
+	reg := a.srv.Metrics(j)
+	if reg == nil {
+		writeError(w, http.StatusNotFound, "job has no metrics artifact (submit with \"metrics\": true and wait for it to finish)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.WriteJSON(w)
+}
+
+func (a *API) spans(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.jobFor(w, r)
+	if !ok {
+		return
+	}
+	sp := a.srv.Spans(j)
+	if sp == nil {
+		writeError(w, http.StatusNotFound, "job has no spans artifact (submit with \"spans\": true and wait for it to finish)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	sp.WriteBinary(w)
+}
+
+// progress streams one "done/total state" line per change (plus a keepalive
+// snapshot every second) until the job reaches a terminal state — the HTTP
+// face of the Sweep.Progress/OnResult hooks that feed the job counters.
+func (a *API) progress(w http.ResponseWriter, r *http.Request) {
+	j, ok := a.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	fl, canFlush := w.(http.Flusher)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	last := ""
+	emit := func(force bool) JobStatus {
+		st := a.srv.Status(j)
+		line := fmt.Sprintf("%d/%d %s\n", st.Done, st.Total, st.State)
+		if force || line != last {
+			fmt.Fprint(w, line)
+			if canFlush {
+				fl.Flush()
+			}
+			last = line
+		}
+		return st
+	}
+	emit(true)
+	for {
+		select {
+		case <-j.Done():
+			st := emit(true)
+			if st.Error != "" {
+				fmt.Fprintf(w, "error: %s\n", st.Error)
+			}
+			return
+		case <-tick.C:
+			emit(false)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (a *API) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.srv.Stats())
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startAPI boots a server on an ephemeral port and returns a client for it.
+func startAPI(t *testing.T, opt Options) (*Server, *Client) {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, closeHTTP, err := NewAPI(s, nil).ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		closeHTTP()
+		s.Shutdown(context.Background())
+	})
+	return s, NewClient(addr)
+}
+
+func TestHTTPSubmitWaitResult(t *testing.T) {
+	fr := &fakeRunner{}
+	s, c := startAPI(t, Options{Workers: 1, Run: fr.run})
+
+	spec := spec1("fft")
+	spec.Name = "http-roundtrip"
+	spec.Metrics = true
+	st, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Name != "http-roundtrip" {
+		t.Fatalf("submit status: %+v", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil || fin.State != JobDone {
+		t.Fatalf("wait: %+v, %v", fin, err)
+	}
+
+	_, raw, err := c.Result(st.ID)
+	if err != nil || len(raw) != 1 {
+		t.Fatalf("result: %d raws, %v", len(raw), err)
+	}
+	// The wire bytes must be the cache's canonical bytes, verbatim.
+	j, _ := s.Job(st.ID)
+	_, js, _ := s.Results(j)
+	if string(raw[0]) != string(js[0]) {
+		t.Fatalf("HTTP served different bytes than the cache holds:\n  %s\nvs\n  %s", raw[0], js[0])
+	}
+
+	mb, err := c.Metrics(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(mb) {
+		t.Fatalf("metrics artifact is not JSON: %.80s", mb)
+	}
+	if _, err := c.Spans(st.ID); err == nil {
+		t.Fatal("spans artifact should 404 when the job did not request spans")
+	}
+
+	jobs, err := c.Jobs()
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("jobs: %v, %v", jobs, err)
+	}
+	stats, err := c.Stats()
+	if err != nil || stats.SimulatedRuns != 1 {
+		t.Fatalf("stats: %+v, %v", stats, err)
+	}
+}
+
+func TestHTTPResultConflictWhileRunning(t *testing.T) {
+	fr := &fakeRunner{gate: make(chan struct{})}
+	s, c := startAPI(t, Options{Workers: 1, Run: fr.run})
+	st, err := c.Submit(spec1("fft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	resp, err := http.Get("http://" + c.Base + "/api/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result while running: %d, want 409", resp.StatusCode)
+	}
+	close(fr.gate)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Result(st.ID); err != nil {
+		t.Fatalf("result after done: %v", err)
+	}
+}
+
+func TestHTTPAdmissionRejection(t *testing.T) {
+	fr := &fakeRunner{gate: make(chan struct{})}
+	s, c := startAPI(t, Options{Workers: 1, QueueLimit: 1, Run: fr.run})
+	if _, err := c.Submit(spec1("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	if _, err := c.Submit(spec1("b")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Submit(spec1("c"))
+	be, ok := err.(*BusyError)
+	if !ok {
+		t.Fatalf("over-window submit via HTTP: %v, want *BusyError", err)
+	}
+	if be.RetryAfter < time.Second {
+		t.Fatalf("retry-after hint %v lost on the wire", be.RetryAfter)
+	}
+	// The raw response carries the Retry-After header too.
+	resp, err := http.Post("http://"+c.Base+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"configs":[{"arch":"agg","app":"d","threads":8}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	close(fr.gate)
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	_, c := startAPI(t, Options{Workers: 1, Run: (&fakeRunner{}).run})
+	post := func(body string) int {
+		resp, err := http.Post("http://"+c.Base+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d", code)
+	}
+	if code := post(`{"bogus_field":1,"configs":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d", code)
+	}
+	if code := post(`{"configs":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty config list: %d", code)
+	}
+	if _, err := c.Status("j-999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("missing job: %v", err)
+	}
+}
+
+func TestHTTPHealthzAndProgress(t *testing.T) {
+	fr := &fakeRunner{}
+	_, c := startAPI(t, Options{Workers: 1, Run: fr.run})
+	resp, err := http.Get("http://" + c.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	st, err := c.Submit(spec1("fft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.StreamProgress(ctx, st.ID, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1/1 done") {
+		t.Fatalf("progress stream never reported completion: %q", buf.String())
+	}
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pimdsm/internal/obs"
+)
+
+// saveCache writes the cache index to path atomically (temp file + rename),
+// so a crash mid-save never leaves a truncated index for the next daemon.
+func (s *Server) saveCache(path string) error {
+	idx := s.cache.Snapshot()
+	err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(idx)
+	})
+	if err != nil {
+		return fmt.Errorf("serve: save cache index: %w", err)
+	}
+	return nil
+}
+
+// loadCache restores a persisted index. A missing file is a fresh start; a
+// file that does not parse is an error (the operator should move it aside
+// deliberately rather than have it silently ignored). Entries that fail the
+// key-derivation check are skipped individually.
+func (s *Server) loadCache(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	var idx index
+	if err := json.NewDecoder(f).Decode(&idx); err != nil {
+		return 0, fmt.Errorf("serve: cache index %s is corrupt: %w", path, err)
+	}
+	return s.cache.LoadIndex(&idx), nil
+}

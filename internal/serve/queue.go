@@ -1,0 +1,34 @@
+package serve
+
+import "container/heap"
+
+// jobQueue orders queued jobs by descending priority, FIFO within a
+// priority (stable via the submission sequence number). It implements
+// container/heap.
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].spec.Priority != q[j].spec.Priority {
+		return q[i].spec.Priority > q[j].spec.Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*Job)) }
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
+// push/pop are typed wrappers so call sites read cleanly.
+func (q *jobQueue) push(j *Job) { heap.Push(q, j) }
+func (q *jobQueue) pop() *Job   { return heap.Pop(q).(*Job) }

@@ -1,0 +1,613 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pimdsm/internal/machine"
+	"pimdsm/internal/obs"
+)
+
+// RunBatchFunc executes a batch of configurations and returns the results in
+// input order, invoking onResult as each run completes (r is nil for a
+// failed run). The root pimdsm package wires this to Sweep.RunMany, so the
+// pool's determinism guarantee — results[i] depends only on cfgs[i], never
+// on scheduling — carries over to the service.
+type RunBatchFunc func(cfgs []machine.Config, onResult func(i int, r *machine.Result)) ([]*machine.Result, error)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of jobs simulated concurrently (default 2).
+	Workers int
+	// QueueLimit is the admission window: the maximum number of jobs
+	// waiting to run. Submissions past it are rejected immediately with a
+	// retry-after hint instead of queueing without bound (default 16).
+	QueueLimit int
+	// CacheEntries bounds the LRU result cache (default 512).
+	CacheEntries int
+	// CachePath, when non-empty, persists the cache index there on
+	// Shutdown and reloads it in NewServer.
+	CachePath string
+	// Run executes one batch; nil means a serial loop over machine.Run.
+	// pimdsm.NewServer always wires the Sweep pool here.
+	Run RunBatchFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = 16
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 512
+	}
+	if o.Run == nil {
+		o.Run = func(cfgs []machine.Config, onResult func(int, *machine.Result)) ([]*machine.Result, error) {
+			results := make([]*machine.Result, len(cfgs))
+			var firstErr error
+			for i := range cfgs {
+				r, err := machine.Run(cfgs[i])
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				results[i] = r
+				if onResult != nil {
+					onResult(i, r)
+				}
+			}
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return results, nil
+		}
+	}
+	return o
+}
+
+// JobSpec is a submission: a batch of configurations that runs as one unit
+// of scheduling. Cached configurations are served without simulation;
+// configurations already being simulated by another job are joined, not
+// repeated (singleflight); only the remainder is run.
+type JobSpec struct {
+	Name     string `json:"name,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	// Seed is folded into every cache key; reserved for future stochastic
+	// workloads (today results are deterministic from the config alone).
+	Seed uint64 `json:"seed,omitempty"`
+	// Metrics attaches a per-job metrics registry, folded deterministically
+	// from every result (cached or simulated); fetch it as the job's
+	// metrics artifact.
+	Metrics bool `json:"metrics,omitempty"`
+	// Spans attaches a per-job transaction-span recorder. Spans only cover
+	// the configurations this job actually simulates (cache hits recorded
+	// no spans), and force the job's own runs serial, exactly like the
+	// figure drivers' shared-observer mode.
+	Spans bool `json:"spans,omitempty"`
+
+	Configs []ConfigSpec `json:"configs"`
+}
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+	// JobAborted marks jobs still queued when the server shut down.
+	JobAborted JobState = "aborted"
+)
+
+// Job is one admitted submission. All mutable fields are guarded by the
+// server mutex; read them through Status.
+type Job struct {
+	id   string
+	seq  uint64
+	spec JobSpec
+
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done      int
+	cacheHits int
+	simulated int
+	joins     int
+	err       error
+
+	results    []*machine.Result
+	resultJSON [][]byte
+	metrics    *obs.Registry
+	spans      *obs.Spans
+
+	// doneCh closes when the job reaches a terminal state.
+	doneCh chan struct{}
+}
+
+// JobStatus is the wire snapshot of a job.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name,omitempty"`
+	State     JobState `json:"state"`
+	Priority  int      `json:"priority,omitempty"`
+	Total     int      `json:"total"`
+	Done      int      `json:"done"`
+	CacheHits int      `json:"cache_hits"`
+	Simulated int      `json:"simulated"`
+	Joins     int      `json:"singleflight_joins"`
+	Error     string   `json:"error,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// BusyError is the admission-control rejection: the queue window is full.
+// RetryAfter estimates when a slot frees up (EWMA job time scaled by the
+// backlog per worker).
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("serve: admission window full, retry after %s", e.RetryAfter)
+}
+
+// ErrDraining rejects submissions during shutdown.
+var ErrDraining = errors.New("serve: server is shutting down")
+
+// Server is the simulation service: admission control in Submit, a priority
+// queue drained by a fixed worker pool, and the content-addressed cache.
+type Server struct {
+	opt   Options
+	cache *Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      uint64
+	running  int
+	draining bool
+	wg       sync.WaitGroup
+
+	submitted, rejected, jobsDone, jobsFailed, jobsAborted uint64
+	simulatedRuns, simulatedCycles                         uint64
+	ewmaJobSec                                             float64
+}
+
+// New starts a server: restores the cache index from Options.CachePath when
+// present (a missing file is a fresh start, a corrupt one an error) and
+// launches the worker pool.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:   opt,
+		cache: NewCache(opt.CacheEntries),
+		jobs:  make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if opt.CachePath != "" {
+		if _, err := s.loadCache(opt.CachePath); err != nil {
+			return nil, err
+		}
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Cache exposes the result cache (read-mostly: tests and stats).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit admits spec or rejects it. Rejections are immediate and typed:
+// *BusyError when the admission window is full, ErrDraining during
+// shutdown, a validation error for an empty or malformed spec.
+func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
+	if len(spec.Configs) == 0 {
+		return JobStatus{}, errors.New("serve: job has no configurations")
+	}
+	for i, cs := range spec.Configs {
+		if cs.Arch == "" || cs.App == "" {
+			return JobStatus{}, fmt.Errorf("serve: config %d missing arch or app", i)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected++
+		return JobStatus{}, ErrDraining
+	}
+	if len(s.queue) >= s.opt.QueueLimit {
+		s.rejected++
+		return JobStatus{}, &BusyError{RetryAfter: s.retryAfterLocked()}
+	}
+	s.seq++
+	j := &Job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		seq:       s.seq,
+		spec:      spec,
+		state:     JobQueued,
+		submitted: time.Now(),
+		doneCh:    make(chan struct{}),
+	}
+	if spec.Metrics {
+		j.metrics = obs.NewRegistry()
+	}
+	if spec.Spans {
+		j.spans = obs.NewSpans(0)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue.push(j)
+	s.submitted++
+	s.cond.Signal()
+	return s.statusLocked(j), nil
+}
+
+// retryAfterLocked estimates the wait for a queue slot: backlog per worker
+// times the EWMA job duration, floored at one second.
+func (s *Server) retryAfterLocked() time.Duration {
+	per := s.ewmaJobSec
+	if per <= 0 {
+		per = 1
+	}
+	backlog := float64(len(s.queue)+s.running) / float64(s.opt.Workers)
+	d := time.Duration(per * backlog * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// Job returns the job with the given id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status snapshots a job.
+func (s *Server) Status(j *Job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+func (s *Server) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Name:        j.spec.Name,
+		State:       j.state,
+		Priority:    j.spec.Priority,
+		Total:       len(j.spec.Configs),
+		Done:        j.done,
+		CacheHits:   j.cacheHits,
+		Simulated:   j.simulated,
+		Joins:       j.joins,
+		SubmittedAt: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Results returns the job's results (input order) and their canonical JSON
+// encodings, or false if the job is not done. The byte slices are the exact
+// bytes a cache hit serves, so equality checks against a direct run are
+// byte-for-byte.
+func (s *Server) Results(j *Job) ([]*machine.Result, [][]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != JobDone {
+		return nil, nil, false
+	}
+	return j.results, j.resultJSON, true
+}
+
+// Metrics returns the job's metrics registry (nil unless JobSpec.Metrics).
+func (s *Server) Metrics(j *Job) *obs.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != JobDone {
+		return nil
+	}
+	return j.metrics
+}
+
+// Spans returns the job's span recorder (nil unless JobSpec.Spans).
+func (s *Server) Spans(j *Job) *obs.Spans {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != JobDone {
+		return nil
+	}
+	return j.spans
+}
+
+// ServerStats is the service-wide counters snapshot.
+type ServerStats struct {
+	Workers    int  `json:"workers"`
+	QueueLimit int  `json:"queue_limit"`
+	Queued     int  `json:"queued"`
+	Running    int  `json:"running"`
+	Draining   bool `json:"draining"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsAborted   uint64 `json:"jobs_aborted"`
+
+	// SimulatedRuns/SimulatedCycles count only real simulations — a cache
+	// hit or singleflight join moves neither, which is how the smoke test
+	// proves a resubmission never re-simulated.
+	SimulatedRuns   uint64 `json:"simulated_runs"`
+	SimulatedCycles uint64 `json:"simulated_cycles"`
+
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	st := ServerStats{
+		Workers:         s.opt.Workers,
+		QueueLimit:      s.opt.QueueLimit,
+		Queued:          len(s.queue),
+		Running:         s.running,
+		Draining:        s.draining,
+		JobsSubmitted:   s.submitted,
+		JobsRejected:    s.rejected,
+		JobsDone:        s.jobsDone,
+		JobsFailed:      s.jobsFailed,
+		JobsAborted:     s.jobsAborted,
+		SimulatedRuns:   s.simulatedRuns,
+		SimulatedCycles: s.simulatedCycles,
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	return st
+}
+
+// worker pulls the highest-priority queued job and runs it to completion.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue.pop()
+		j.state = JobRunning
+		j.started = time.Now()
+		s.running++
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job: resolve every config against the cache, simulate
+// the misses this job owns through the batch runner, wait for flights owned
+// by other running jobs, then finalize.
+//
+// Deadlock-freedom: flights are only ever owned by running jobs, and a job
+// always finishes its own simulations (fulfilling its flights) before
+// waiting on anyone else's, so waits form no cycle.
+func (s *Server) runJob(j *Job) {
+	n := len(j.spec.Configs)
+	keys := make([]uint64, n)
+	results := make([]*machine.Result, n)
+	resJSON := make([][]byte, n)
+	var toRun []int
+	type join struct {
+		i  int
+		fl *flight
+	}
+	var joins []join
+
+	for i, cs := range j.spec.Configs {
+		keys[i] = cs.Key(j.spec.Seed)
+		res, js, hit, fl, owner := s.cache.Acquire(keys[i])
+		switch {
+		case hit:
+			results[i], resJSON[i] = res, js
+			s.mu.Lock()
+			j.done++
+			j.cacheHits++
+			s.mu.Unlock()
+		case owner:
+			toRun = append(toRun, i)
+			_ = fl // resolved via cache.Fulfill/Abort below
+		default:
+			joins = append(joins, join{i: i, fl: fl})
+		}
+	}
+
+	var jobErr error
+	if len(toRun) > 0 {
+		jobErr = s.simulate(j, keys, toRun, results, resJSON)
+	}
+
+	for _, w := range joins {
+		<-w.fl.done
+		if w.fl.err != nil {
+			if jobErr == nil {
+				jobErr = w.fl.err
+			}
+			continue
+		}
+		results[w.i], resJSON[w.i] = w.fl.res, w.fl.js
+		s.mu.Lock()
+		j.done++
+		j.joins++
+		s.mu.Unlock()
+	}
+
+	if jobErr == nil && j.metrics != nil {
+		for _, r := range results {
+			machine.CollectMetrics(j.metrics, r)
+		}
+	}
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	s.running--
+	if jobErr != nil {
+		j.state = JobFailed
+		j.err = jobErr
+		s.jobsFailed++
+	} else {
+		j.state = JobDone
+		j.results = results
+		j.resultJSON = resJSON
+		s.jobsDone++
+	}
+	// EWMA of job wall time feeds the retry-after estimate.
+	sec := j.finished.Sub(j.started).Seconds()
+	if s.ewmaJobSec == 0 {
+		s.ewmaJobSec = sec
+	} else {
+		s.ewmaJobSec = 0.7*s.ewmaJobSec + 0.3*sec
+	}
+	s.mu.Unlock()
+	close(j.doneCh)
+}
+
+// simulate runs the cache-missing configs this job owns and publishes each
+// result into the cache (resolving the singleflight flights) as it lands.
+// With spans attached the runs go one at a time: a span recorder is a shared
+// observer, exactly like the figure drivers' shared-trace mode.
+func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine.Result, resJSON [][]byte) error {
+	batches := [][]int{toRun}
+	if j.spans != nil {
+		batches = batches[:0]
+		for _, i := range toRun {
+			batches = append(batches, []int{i})
+		}
+	}
+	var firstErr error
+	for _, batch := range batches {
+		cfgs := make([]machine.Config, len(batch))
+		for bi, i := range batch {
+			cfg := j.spec.Configs[i].canonical().Config()
+			cfg.Spans = j.spans
+			cfgs[bi] = cfg
+		}
+		onResult := func(bi int, r *machine.Result) {
+			if r == nil {
+				return // failure; flight aborted after the batch returns
+			}
+			i := batch[bi]
+			js, err := canonicalResultJSON(r)
+			if err != nil {
+				// Result not serializable: still serve it in-process but
+				// never cache it (the flight resolves with the error).
+				s.cache.Abort(keys[i], err)
+				return
+			}
+			results[i], resJSON[i] = r, js
+			s.cache.Fulfill(keys[i], j.spec.Seed, j.spec.Configs[i].canonical(), r, js)
+			s.mu.Lock()
+			j.done++
+			j.simulated++
+			s.simulatedRuns++
+			s.simulatedCycles += uint64(r.Breakdown.Exec)
+			s.mu.Unlock()
+		}
+		_, err := s.opt.Run(cfgs, onResult)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Any config that produced no result leaves an unresolved flight;
+		// abort it so joined jobs unblock with the error.
+		for _, i := range batch {
+			if results[i] == nil {
+				e := err
+				if e == nil {
+					e = errors.New("serve: run produced no result")
+				}
+				s.cache.Abort(keys[i], e)
+				if firstErr == nil {
+					firstErr = e
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// Shutdown drains the service: new submissions are rejected, queued jobs
+// are aborted, running jobs finish (bounded by ctx), and the cache index is
+// persisted to Options.CachePath. Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for len(s.queue) > 0 {
+		j := s.queue.pop()
+		j.state = JobAborted
+		j.err = ErrDraining
+		j.finished = time.Now()
+		s.jobsAborted++
+		close(j.doneCh)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+	}
+	if s.opt.CachePath != "" {
+		if err := s.saveCache(s.opt.CachePath); err != nil && waitErr == nil {
+			waitErr = err
+		}
+	}
+	return waitErr
+}

@@ -1,0 +1,95 @@
+package pimdsm
+
+import (
+	"io"
+
+	"pimdsm/internal/obs"
+	"pimdsm/internal/serve"
+)
+
+// The service layer (cmd/aggsimd) turns the simulator into a long-running
+// daemon: jobs are batches of configurations, identical configurations are
+// deduplicated through a content-addressed LRU result cache with
+// singleflight collapsing of in-flight work, and a bounded admission window
+// rejects excess submissions immediately instead of queueing without bound.
+// See internal/serve for the subsystem and DESIGN.md §10 for the
+// architecture.
+type (
+	// ServerOptions configures a simulation service.
+	ServerOptions = serve.Options
+	// Server is the simulation service: queue, workers, cache.
+	Server = serve.Server
+	// ServerStats is the service counters snapshot.
+	ServerStats = serve.ServerStats
+	// JobSpec is one service submission: a named, prioritized batch.
+	JobSpec = serve.JobSpec
+	// JobStatus is the wire snapshot of a submitted job.
+	JobStatus = serve.JobStatus
+	// ConfigSpec is the wire form of a Config: only the result-determining
+	// fields, so it both addresses the cache and travels over HTTP.
+	ConfigSpec = serve.ConfigSpec
+	// ServiceAPI is the JSON/HTTP surface over a Server.
+	ServiceAPI = serve.API
+	// ServiceClient talks to an aggsimd daemon.
+	ServiceClient = serve.Client
+	// BusyError is the admission-control rejection, carrying a retry-after
+	// hint.
+	BusyError = serve.BusyError
+	// JobState is a job's lifecycle state.
+	JobState = serve.JobState
+)
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = serve.JobQueued
+	JobRunning JobState = serve.JobRunning
+	JobDone    JobState = serve.JobDone
+	JobFailed  JobState = serve.JobFailed
+	JobAborted JobState = serve.JobAborted
+)
+
+// NewServer starts a simulation service whose workers drain jobs through
+// this package's Sweep pool, so the pool's determinism guarantee — a
+// result depends only on its Config, never on scheduling — extends to every
+// service response. sweepWorkers bounds the simulations one job runs
+// concurrently (0 means one per CPU); opt.Workers bounds concurrent jobs.
+func NewServer(opt ServerOptions, sweepWorkers int) (*Server, error) {
+	if opt.Run == nil {
+		opt.Run = func(cfgs []Config, onResult func(int, *Result)) ([]*Result, error) {
+			return Sweep{Workers: sweepWorkers, OnResult: onResult}.RunMany(cfgs)
+		}
+	}
+	return serve.New(opt)
+}
+
+// NewServiceAPI mounts the service's JSON/HTTP API; dash (may be nil) keeps
+// serving the dashboard routes alongside it.
+func NewServiceAPI(srv *Server, dash *Dashboard) *ServiceAPI {
+	return serve.NewAPI(srv, dash)
+}
+
+// NewServiceClient returns a client for the aggsimd daemon at addr
+// ("host:port" or a full URL).
+func NewServiceClient(addr string) *ServiceClient { return serve.NewClient(addr) }
+
+// SpecOfConfig extracts the wire/cache-key form of a config, dropping the
+// record-only observer attachments.
+func SpecOfConfig(cfg Config) ConfigSpec { return serve.SpecOf(cfg) }
+
+// Figure6Specs returns the paper's Figure 6 configuration set for one
+// application (NUMA, COMA and the AGG splits at 25% and 75% pressure) in
+// wire form — the standard batch to submit to an aggsimd daemon.
+func Figure6Specs(app string, threads int, scale float64) []ConfigSpec {
+	cs := figure6Configs(app, Options{Threads: threads, Scale: scale}.withDefaults())
+	out := make([]ConfigSpec, len(cs))
+	for i := range cs {
+		out[i] = serve.SpecOf(cs[i].cfg)
+	}
+	return out
+}
+
+// WriteFileAtomic writes an artifact via a temp file renamed into place, so
+// a failed writer never truncates a previous good artifact.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return obs.WriteFileAtomic(path, write)
+}
