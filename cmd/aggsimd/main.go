@@ -12,11 +12,15 @@
 //	        [-drain-timeout 30s]
 //
 // -workers bounds concurrently running jobs; -sweep-workers bounds the
-// simulations one job runs in parallel (0 = one per CPU). -queue is the
-// admission window: submissions beyond it receive HTTP 429 with a
-// Retry-After hint instead of queueing without bound. -cache-file persists
-// the result-cache index across restarts (written atomically on graceful
-// shutdown, verified and reloaded on start).
+// simulations one job runs in parallel (0 = GOMAXPROCS divided across the
+// job workers). Every simulation is a CPU-bound serial coherence run —
+// Config.Shards parallelizes only the event-driven mesh engine, never a
+// machine run — so the daemon keeps workers × sweep-workers ≤ GOMAXPROCS:
+// explicit values that oversubscribe are capped with a startup warning.
+// -queue is the admission window: submissions beyond it receive HTTP 429
+// with a Retry-After hint instead of queueing without bound. -cache-file
+// persists the result-cache index across restarts (written atomically on
+// graceful shutdown, verified and reloaded on start).
 //
 // The daemon serves the obs dashboard routes (/, /debug/vars,
 // /debug/pprof/) next to the API; /healthz reports liveness. SIGINT or
@@ -38,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,6 +59,36 @@ func main() {
 // from here instead of scraping stderr.
 var notifyListening = func(addr string) {}
 
+// effectiveSweepWorkers resolves the per-job simulation parallelism so the
+// pool never oversubscribes the host: each of `workers` jobs runs up to the
+// returned count of simulations at once, and every simulation is one
+// CPU-bound goroutine (the coherence path is serial at any Config.Shards),
+// so the product is kept ≤ maxProcs. sweepWorkers 0 asks for the automatic
+// split; an explicit value that oversubscribes is capped and the returned
+// warning explains what happened (empty when nothing was changed).
+//
+// The previous behavior — 0 meant one sweep worker per CPU in *each* job
+// worker — ran workers × NumCPU simulations on NumCPU cores, a 2× default
+// oversubscription that showed up as pure scheduler churn on loaded hosts.
+func effectiveSweepWorkers(workers, sweepWorkers, maxProcs int) (int, string) {
+	if workers < 1 {
+		workers = 1
+	}
+	fair := maxProcs / workers
+	if fair < 1 {
+		fair = 1
+	}
+	if sweepWorkers <= 0 {
+		return fair, ""
+	}
+	if workers*sweepWorkers > maxProcs && sweepWorkers > fair {
+		return fair, fmt.Sprintf(
+			"%d jobs x %d simulations oversubscribes GOMAXPROCS=%d; capping -sweep-workers to %d",
+			workers, sweepWorkers, maxProcs, fair)
+	}
+	return sweepWorkers, ""
+}
+
 // realMain runs the daemon until a signal arrives on stop (tests send one
 // instead of raising a real signal).
 func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
@@ -61,7 +96,7 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "localhost:8977", "listen address (host:port, :0 for an ephemeral port)")
 	workers := fs.Int("workers", 2, "jobs simulated concurrently")
-	sweepWorkers := fs.Int("sweep-workers", 0, "parallel simulations within one job (0 = one per CPU)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "parallel simulations within one job (0 = GOMAXPROCS split across -workers)")
 	queue := fs.Int("queue", 16, "admission window: max jobs waiting to run")
 	cacheEntries := fs.Int("cache-entries", 512, "result cache LRU bound")
 	cacheFile := fs.String("cache-file", "", "persist the cache index to this file across restarts")
@@ -70,12 +105,17 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		return 2
 	}
 
+	sw, warn := effectiveSweepWorkers(*workers, *sweepWorkers, runtime.GOMAXPROCS(0))
+	if warn != "" {
+		fmt.Fprintln(stderr, "aggsimd:", warn)
+	}
+
 	srv, err := pimdsm.NewServer(pimdsm.ServerOptions{
 		Workers:      *workers,
 		QueueLimit:   *queue,
 		CacheEntries: *cacheEntries,
 		CachePath:    *cacheFile,
-	}, *sweepWorkers)
+	}, sw)
 	if err != nil {
 		fmt.Fprintln(stderr, "aggsimd:", err)
 		return 1

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestEffectiveSweepWorkers pins the oversubscription guard: the product of
+// job workers and per-job sweep workers never exceeds GOMAXPROCS, whether the
+// per-job count was automatic (0) or explicit (capped with a warning).
+func TestEffectiveSweepWorkers(t *testing.T) {
+	cases := []struct {
+		workers, sweep, procs int
+		want                  int
+		warns                 bool
+	}{
+		{2, 0, 8, 4, false},  // automatic split
+		{2, 0, 1, 1, false},  // 1-CPU host: serial within each job
+		{2, 4, 8, 4, false},  // explicit fit is kept
+		{2, 8, 8, 4, true},   // explicit oversubscription capped
+		{4, 16, 4, 1, true},  // heavy oversubscription capped to the floor
+		{0, 0, 8, 8, false},  // degenerate workers treated as one job
+		{16, 1, 8, 1, false}, // workers alone > procs: sweep already minimal
+	}
+	for _, c := range cases {
+		got, warn := effectiveSweepWorkers(c.workers, c.sweep, c.procs)
+		if got != c.want || (warn != "") != c.warns {
+			t.Errorf("effectiveSweepWorkers(%d, %d, %d) = %d, %q; want %d, warn=%v",
+				c.workers, c.sweep, c.procs, got, warn, c.want, c.warns)
+		}
+	}
+}

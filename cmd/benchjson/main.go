@@ -1,15 +1,25 @@
-// Command benchjson measures wall-clock simulator throughput on a small
-// fixed matrix and emits one JSON document to stdout. `make bench-json`
-// redirects it into BENCH_<date>.json; committing those snapshots over time
-// builds the performance trajectory of the simulator itself (host-dependent,
-// so the date and Go version are recorded alongside).
+// Command benchjson measures wall-clock simulator throughput on the full
+// evaluation matrix — every application on every machine organization — and
+// emits one JSON document to stdout. `make bench-json` redirects it into
+// BENCH_<date>.json; committing those snapshots over time builds the
+// performance trajectory of the simulator itself. Throughput is
+// host-dependent, so the date, Go version, CPU count, GOMAXPROCS and the
+// requested shard count are recorded alongside every snapshot, and each run
+// carries its own shards/gomaxprocs pair so later analysis never has to
+// guess a row's provenance.
 //
 // Usage:
 //
-//	benchjson [-scale 0.1] [-threads 8] [-repeat 3]
+//	benchjson [-scale 1.0] [-threads 32] [-repeat 2] [-shards 1]
+//
+// The machines' coherence path executes serially at any -shards value (see
+// DESIGN.md, "Conservative-window PDES"): the flag exists so snapshots taken
+// while the partitioned engine spreads to more subsystems stay comparable,
+// not because it changes these numbers today.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,53 +29,84 @@ import (
 	"pimdsm"
 )
 
+type benchRun struct {
+	Arch         string  `json:"arch"`
+	App          string  `json:"app"`
+	Shards       int     `json:"shards"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	WallMs       float64 `json:"wall_ms"`
+	ExecCycles   uint64  `json:"exec_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+type benchDoc struct {
+	Date       string     `json:"date"`
+	Go         string     `json:"go"`
+	CPUs       int        `json:"cpus"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Scale      float64    `json:"scale"`
+	Threads    int        `json:"threads"`
+	Shards     int        `json:"shards"`
+	Repeat     int        `json:"repeat"`
+	Runs       []benchRun `json:"runs"`
+}
+
 func main() {
 	os.Exit(realMain())
 }
 
 func realMain() int {
-	scale := flag.Float64("scale", 0.1, "workload scale factor")
-	threads := flag.Int("threads", 8, "application threads")
-	repeat := flag.Int("repeat", 3, "runs per configuration (best wall time wins)")
+	scale := flag.Float64("scale", 1.0, "workload scale factor")
+	threads := flag.Int("threads", 32, "application threads")
+	repeat := flag.Int("repeat", 2, "runs per configuration (best wall time wins)")
+	shards := flag.Int("shards", 1, "partitioned-engine shard count recorded per run")
 	flag.Parse()
 
-	type run struct {
-		arch pimdsm.Arch
-		app  string
+	doc := benchDoc{
+		Date:       time.Now().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+		Threads:    *threads,
+		Shards:     *shards,
+		Repeat:     *repeat,
 	}
-	matrix := []run{
-		{pimdsm.AGG, "fft"}, {pimdsm.NUMA, "fft"}, {pimdsm.COMA, "fft"},
-		{pimdsm.AGG, "ocean"},
-	}
-
-	fmt.Printf("{\"date\":%q,\"go\":%q,\"cpus\":%d,\"scale\":%g,\"threads\":%d,\"runs\":[",
-		time.Now().Format("2006-01-02"), runtime.Version(), runtime.NumCPU(), *scale, *threads)
-	for i, r := range matrix {
-		cfg := pimdsm.Config{
-			Arch: r.arch, App: pimdsm.App(r.app, *scale),
-			Threads: *threads, Pressure: 0.75, DRatio: 1,
-		}
-		var exec pimdsm.Time
-		best := time.Duration(1<<63 - 1)
-		for n := 0; n < *repeat; n++ {
-			start := time.Now()
-			res, err := pimdsm.Run(cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "benchjson:", err)
-				return 1
+	for _, app := range pimdsm.Apps() {
+		for _, arch := range []pimdsm.Arch{pimdsm.NUMA, pimdsm.COMA, pimdsm.AGG} {
+			cfg := pimdsm.Config{
+				Arch: arch, App: pimdsm.App(app, *scale),
+				Threads: *threads, Pressure: 0.75, DRatio: 1,
+				Shards: *shards,
 			}
-			if d := time.Since(start); d < best {
-				best = d
+			var res *pimdsm.Result
+			best := time.Duration(1<<63 - 1)
+			for n := 0; n < *repeat; n++ {
+				start := time.Now()
+				r, err := pimdsm.Run(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "benchjson:", err)
+					return 1
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				res = r
 			}
-			exec = res.Breakdown.Exec
+			exec := uint64(res.Breakdown.Exec)
+			doc.Runs = append(doc.Runs, benchRun{
+				Arch: string(arch), App: app,
+				Shards: res.Shards, GoMaxProcs: runtime.GOMAXPROCS(0),
+				WallMs:       float64(best.Microseconds()) / 1000,
+				ExecCycles:   exec,
+				CyclesPerSec: float64(exec) / best.Seconds(),
+			})
 		}
-		if i > 0 {
-			fmt.Print(",")
-		}
-		fmt.Printf("{\"arch\":%q,\"app\":%q,\"wall_ms\":%.2f,\"exec_cycles\":%d,\"cycles_per_sec\":%.0f}",
-			r.arch, r.app, float64(best.Microseconds())/1000,
-			exec, float64(exec)/best.Seconds())
 	}
-	fmt.Println("]}")
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
 	return 0
 }

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"reflect"
 	"testing"
 
 	"pimdsm/internal/proto"
@@ -158,5 +159,42 @@ func TestLatencyClassesPopulated(t *testing.T) {
 	}
 	if res.Machine.ReadCount[proto.Lat2Hop]+res.Machine.ReadCount[proto.Lat3Hop] == 0 {
 		t.Fatal("no remote reads in FFT transpose")
+	}
+}
+
+// TestShardsSerialEquivalence pins the Config.Shards contract: the coherence
+// path has zero protocol lookahead, so the machine core runs serially at any
+// shard count and results must be bit-identical across all of them — Shards
+// is recorded provenance, never a result-changing knob.
+func TestShardsSerialEquivalence(t *testing.T) {
+	for _, arch := range []Arch{AGG, NUMA, COMA} {
+		base := smallCfg(arch, "fft")
+		ref, err := Run(base)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if ref.Shards != 1 {
+			t.Fatalf("%s: zero Shards not normalized to 1: %d", arch, ref.Shards)
+		}
+		for _, k := range []int{2, 8} {
+			cfg := base
+			cfg.Shards = k
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", arch, k, err)
+			}
+			if res.Shards != k {
+				t.Fatalf("%s: Shards=%d not recorded: %d", arch, k, res.Shards)
+			}
+			res.Shards = ref.Shards
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("%s: shards=%d changed results:\n%+v\nvs\n%+v", arch, k, res, ref)
+			}
+		}
+	}
+	bad := smallCfg(AGG, "fft")
+	bad.Shards = -1
+	if _, err := Run(bad); err == nil {
+		t.Error("negative shard count accepted")
 	}
 }

@@ -1,0 +1,144 @@
+package mesh
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"pimdsm/internal/sim"
+)
+
+func runEvents(t testing.TB, w, h, shards int, tr Traffic, until sim.Time) *Events {
+	t.Helper()
+	e, err := NewEvents(DefaultConfig(w, h), shards, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(until)
+	return e
+}
+
+// TestEventsBitIdenticalAcrossShards is the issue's cross-check: the K=1
+// run is the oracle, and K ∈ {2, 4, 8} must reproduce its delivery
+// fingerprint (every message at the same node at the same cycle) and every
+// aggregate counter, for each traffic pattern.
+func TestEventsBitIdenticalAcrossShards(t *testing.T) {
+	for _, pat := range []Pattern{Uniform, Transpose, Hotspot, NeighborRing} {
+		pat := pat
+		t.Run(pat.String(), func(t *testing.T) {
+			tr := Traffic{Pattern: pat, Period: 40, ResponseBytes: 128, Seed: 42}
+			ref := runEvents(t, 16, 16, 1, tr, 20_000)
+			refFP, refStats := ref.Fingerprint(), ref.Stats()
+			if refStats.Delivered == 0 {
+				t.Fatal("oracle run delivered nothing")
+			}
+			for _, k := range []int{2, 4, 8} {
+				got := runEvents(t, 16, 16, k, tr, 20_000)
+				if fp := got.Fingerprint(); fp != refFP {
+					t.Errorf("K=%d fingerprint %#x != serial %#x", k, fp, refFP)
+				}
+				if st := got.Stats(); st != refStats {
+					t.Errorf("K=%d stats %+v != serial %+v", k, st, refStats)
+				}
+				if es := got.EngineStats(); k > 1 && es.CrossShard == 0 {
+					t.Errorf("K=%d: no cross-shard messages — bands are not being exercised", k)
+				}
+			}
+		})
+	}
+}
+
+// TestEventsResumable: running to a horizon in two steps equals one step.
+func TestEventsResumable(t *testing.T) {
+	tr := Traffic{Pattern: Uniform, Period: 30, Seed: 7}
+	one := runEvents(t, 8, 8, 4, tr, 10_000)
+	two, err := NewEvents(DefaultConfig(8, 8), 4, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two.Run(4_000)
+	two.Run(10_000)
+	if one.Fingerprint() != two.Fingerprint() || one.Stats() != two.Stats() {
+		t.Fatalf("split run diverged: %+v vs %+v", one.Stats(), two.Stats())
+	}
+}
+
+// TestEventsStopInjecting: injection ends at the configured time but
+// in-flight messages drain; totals stay shard-count-independent.
+func TestEventsStopInjecting(t *testing.T) {
+	tr := Traffic{Pattern: Uniform, Period: 25, StopInjecting: 2_000, Seed: 3}
+	ref := runEvents(t, 8, 8, 1, tr, 50_000)
+	st := ref.Stats()
+	if st.Injected == 0 || st.Delivered != st.Injected {
+		t.Fatalf("drain incomplete after horizon: %+v", st)
+	}
+	got := runEvents(t, 8, 8, 4, tr, 50_000)
+	if got.Fingerprint() != ref.Fingerprint() {
+		t.Fatal("K=4 drain diverged from serial")
+	}
+}
+
+// TestEventsQueueingArises: a transpose storm on a small mesh must show
+// link queueing (the contention model is live, not a straight-line delay).
+func TestEventsQueueingArises(t *testing.T) {
+	tr := Traffic{Pattern: Transpose, Period: 8, RequestBytes: 144, Seed: 1}
+	e := runEvents(t, 8, 8, 2, tr, 20_000)
+	if st := e.Stats(); st.Queued == 0 {
+		t.Fatalf("no queueing under a transpose storm: %+v", st)
+	}
+}
+
+// TestEventsSpeedupSmoke is the `make speedup-smoke` gate: a mid-size
+// config at K=1 and K=4 must be bit-identical, and on a host with ≥ 4
+// cores K=4 must not be slower than K=1 (generous 1.3x tolerance against
+// scheduler noise; on fewer cores only the identity half runs).
+func TestEventsSpeedupSmoke(t *testing.T) {
+	tr := Traffic{Pattern: Uniform, Period: 20, ResponseBytes: 128, Seed: 9}
+	const until = 60_000
+	wall := func(k int) (time.Duration, uint64, EventStats) {
+		best := time.Duration(1<<63 - 1)
+		var fp uint64
+		var st EventStats
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			e := runEvents(t, 16, 16, k, tr, until)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			fp, st = e.Fingerprint(), e.Stats()
+		}
+		return best, fp, st
+	}
+	w1, fp1, st1 := wall(1)
+	w4, fp4, st4 := wall(4)
+	if fp1 != fp4 || st1 != st4 {
+		t.Fatalf("K=4 diverged from K=1: fp %#x vs %#x, stats %+v vs %+v", fp4, fp1, st4, st1)
+	}
+	t.Logf("speedup-smoke: K=1 %v, K=4 %v (%.2fx), %d deliveries, GOMAXPROCS=%d",
+		w1, w4, float64(w1)/float64(w4), st1.Delivered, runtime.GOMAXPROCS(0))
+	if runtime.GOMAXPROCS(0) >= 4 && w4 > w1+w1*3/10 {
+		t.Errorf("K=4 slower than K=1 on a %d-way host: %v vs %v", runtime.GOMAXPROCS(0), w4, w1)
+	}
+}
+
+// BenchmarkEvents measures the event mesh at paper-plus scales across shard
+// counts: 256 nodes (the ROADMAP's beyond-paper target) and 1024 nodes.
+func BenchmarkEvents(b *testing.B) {
+	for _, sz := range []int{16, 32} {
+		for _, k := range []int{1, 2, 4, 8} {
+			if k > 1 && k > 2*runtime.GOMAXPROCS(0) {
+				continue
+			}
+			b.Run(fmt.Sprintf("mesh=%dx%d/K=%d", sz, sz, k), func(b *testing.B) {
+				tr := Traffic{Pattern: Uniform, Period: 30, ResponseBytes: 128, Seed: 11}
+				var delivered uint64
+				for i := 0; i < b.N; i++ {
+					e := runEvents(b, sz, sz, k, tr, 20_000)
+					delivered = e.Stats().Delivered
+				}
+				b.ReportMetric(float64(delivered), "deliveries")
+			})
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package mesh
+
+import "pimdsm/internal/sim"
+
+// MinLinkLatency returns the smallest simulated delay by which a message at
+// one router can influence an adjacent router: the per-hop head latency.
+// Wormhole routing advances a message's head one router per RouterDelay
+// cycles, and link occupancy (serialization, queueing) only ever adds to
+// that, so RouterDelay is a hard lower bound on any node-to-node influence.
+//
+// This is the conservative lookahead of a partitioned simulation whose
+// shard boundaries cut mesh links: a shard that has executed up to time t
+// cannot receive any effect timestamped before t + MinLinkLatency, so the
+// engine may safely run every shard to that horizon in parallel
+// (sim.Sharded derives its window width from this — the bound is extracted
+// from the link parameters, never hardcoded).
+func (c Config) MinLinkLatency() sim.Time { return c.RouterDelay }
+
+// MinLinkLatency returns the mesh's conservative cross-node lookahead; see
+// Config.MinLinkLatency.
+func (m *Mesh) MinLinkLatency() sim.Time { return m.cfg.MinLinkLatency() }

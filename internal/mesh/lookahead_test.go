@@ -1,0 +1,44 @@
+package mesh
+
+import "testing"
+
+// TestMinLinkLatencyPinnedToPaper pins the derived lookahead against the
+// paper's Table 1 link parameters, so a calibration change that would
+// silently alter the partitioned engine's window width fails loudly here.
+func TestMinLinkLatencyPinnedToPaper(t *testing.T) {
+	// AGG mesh: 2-byte-wide 1 GHz links, 10-cycle router head latency.
+	agg := DefaultConfig(8, 4)
+	if agg.BytesPerCycle != 2 || agg.RouterDelay != 10 || agg.HeaderBytes != 16 {
+		t.Fatalf("Table 1 link parameters drifted: %+v", agg)
+	}
+	if got := agg.MinLinkLatency(); got != 10 {
+		t.Fatalf("AGG MinLinkLatency = %d, want 10 (Table 1 router delay)", got)
+	}
+	// The NUMA/COMA baselines double link width for equal bisection
+	// bandwidth (§3); that changes serialization, not the head latency, so
+	// the lookahead bound is unchanged.
+	numa := DefaultConfig(8, 4)
+	numa.BytesPerCycle *= 2
+	if got := numa.MinLinkLatency(); got != 10 {
+		t.Fatalf("double-width MinLinkLatency = %d, want 10", got)
+	}
+	m := MustNew(agg)
+	if m.MinLinkLatency() != agg.MinLinkLatency() {
+		t.Fatal("Mesh.MinLinkLatency disagrees with its Config")
+	}
+	// The bound must be a true floor: no uncontended single hop can beat it.
+	if hop := agg.RouterDelay; hop < agg.MinLinkLatency() {
+		t.Fatalf("lookahead %d exceeds an uncontended hop %d", agg.MinLinkLatency(), hop)
+	}
+}
+
+// TestZeroRouterDelayRejected: a degenerate config with no per-hop latency
+// has zero lookahead, which the partitioned engine must reject as an error.
+func TestZeroRouterDelayRejected(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.RouterDelay = 0
+	_, err := NewEvents(cfg, 2, Traffic{Pattern: Uniform, Period: 20})
+	if err == nil {
+		t.Fatal("NewEvents accepted a zero-lookahead mesh")
+	}
+}

@@ -1,0 +1,533 @@
+// Conservatively synchronized parallel discrete-event simulation.
+//
+// Sharded partitions a population of simulated nodes across K shards, each
+// with its own event heap running on its own goroutine. Shards advance in
+// bounded time windows whose width is the engine's lookahead: the minimum
+// simulated delay of any cross-node interaction (for a mesh, the per-hop
+// router latency — see mesh.Config.MinLinkLatency). Within a window shards
+// execute independently; at the window barrier, events posted across shard
+// boundaries are exchanged through per-pair mailboxes (each written by
+// exactly one producer shard and drained by exactly one consumer shard, so
+// the barrier's happens-before edge is the only synchronization they need).
+//
+// Determinism. Every event carries a key ordered by (time, scheduling node,
+// per-node sequence). A node's events execute in the same relative order no
+// matter how nodes are placed on shards, because (a) same-shard events are
+// heap-ordered by that key, (b) cross-shard events land in the destination
+// heap before any window that could run them, and (c) the lookahead rule
+// below makes the set of events a window executes placement-independent.
+// Under the ownership contract — a handler touches only its own node's state
+// and interacts with other nodes only via Post — results are therefore
+// bit-identical across shard counts and across runs.
+//
+// The lookahead rule: an event posted to a *different node* must be
+// scheduled at least `lookahead` cycles in the future, whether or not the
+// destination currently shares the poster's shard. Enforcing the bound
+// uniformly (not just at shard crossings) is what keeps behaviour identical
+// when a placement change turns a local post into a mailbox post. A handler
+// may schedule for its own node at any time ≥ now.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded is a partitioned discrete-event engine. Build one with NewSharded,
+// obtain per-node handles with Node, schedule initial events, then Run or
+// RunUntil. It is not safe to schedule from outside the engine while Run is
+// in progress; handlers schedule through their node handle.
+type Sharded struct {
+	shards    []*shard
+	place     []int32 // node -> shard
+	handles   []NodeHandle
+	lookahead Time
+	now       Time // start of the current window (committed global time)
+
+	windows   uint64
+	crossSent uint64
+}
+
+// shard is one partition: an event heap plus mailboxes, driven by one
+// goroutine per window.
+type shard struct {
+	id  int
+	own *Sharded
+	now Time // time of the event being executed (== window start between windows)
+
+	ev      []shEvent // inlined 4-ary min-heap ordered by (at, key)
+	recFree []*Recurring
+
+	// outbox[dst] is this shard's half of the (this, dst) mailbox pair:
+	// appended to only by this shard during a window, drained only by the
+	// coordinator at the barrier. outbox[id] is unused (same-shard posts go
+	// straight to the heap).
+	outbox [][]shEvent
+
+	// Per-node sequence counters for nodes owned by this shard, indexed by
+	// global node ID (only this shard's entries are ever touched by it).
+	dispatched uint64
+	recFired   uint64
+	maxPending int
+
+	done chan any // per-window completion: nil or recovered panic value
+}
+
+// shEvent is one scheduled occurrence in a shard heap. key encodes
+// (scheduling node, that node's sequence number): the deterministic
+// tie-breaker after time.
+type shEvent struct {
+	at   Time
+	key  uint64
+	fn   func()
+	rec  *Recurring
+	node int32 // owning (destination) node; recurrences reschedule under it
+}
+
+// nodeSeqBits is how many low key bits hold the per-node sequence number;
+// the node ID occupies the bits above. 2^44 events per node and 2^20 nodes
+// are both far beyond any practical run.
+const nodeSeqBits = 44
+
+// NodeHandle schedules events for one node. During Run it must be used only
+// from the handlers of the shard that owns the node (handlers receive the
+// handle by capture); before Run it may be used freely from the setup
+// goroutine.
+type NodeHandle struct {
+	sh   *shard
+	node int32
+	seq  uint64
+}
+
+// NewSharded builds an engine for `nodes` simulated nodes partitioned into
+// `shards` contiguous blocks (node i goes to shard i*shards/nodes — for a
+// row-major mesh this is a band of adjacent rows, so shard crossings are
+// mesh links). lookahead is the minimum simulated delay of any cross-node
+// interaction and must be positive: with zero lookahead a conservative
+// window can never include more than the current instant and the barrier
+// protocol cannot advance — that is rejected here rather than deadlocking
+// the first Run.
+func NewSharded(nodes, shards int, lookahead Time) (*Sharded, error) {
+	if nodes > 0 && shards > nodes {
+		shards = nodes // clamp before the closure captures the count
+	}
+	place := func(n int) int { return n * shards / nodes }
+	return NewShardedPlaced(nodes, shards, lookahead, place)
+}
+
+// NewShardedPlaced is NewSharded with an explicit node→shard placement.
+func NewShardedPlaced(nodes, shards int, lookahead Time, place func(node int) int) (*Sharded, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("sim: sharded engine needs at least one node, got %d", nodes)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: sharded engine needs at least one shard, got %d", shards)
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	if lookahead == 0 {
+		return nil, fmt.Errorf("sim: zero lookahead: conservative windows cannot advance "+
+			"(every cross-node event must be scheduled ≥ lookahead cycles ahead; "+
+			"%d shards would deadlock at the first barrier)", shards)
+	}
+	s := &Sharded{
+		place:     make([]int32, nodes),
+		handles:   make([]NodeHandle, nodes),
+		lookahead: lookahead,
+	}
+	s.shards = make([]*shard, shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			id:     i,
+			own:    s,
+			outbox: make([][]shEvent, shards),
+			done:   make(chan any, 1),
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		p := place(n)
+		if p < 0 || p >= shards {
+			return nil, fmt.Errorf("sim: placement put node %d on shard %d of %d", n, p, shards)
+		}
+		s.place[n] = int32(p)
+		s.handles[n] = NodeHandle{sh: s.shards[p], node: int32(n)}
+	}
+	return s, nil
+}
+
+// Nodes returns the node population size.
+func (s *Sharded) Nodes() int { return len(s.handles) }
+
+// Shards returns the number of partitions actually in use.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Lookahead returns the window width.
+func (s *Sharded) Lookahead() Time { return s.lookahead }
+
+// ShardOf returns the shard owning a node.
+func (s *Sharded) ShardOf(node int) int { return int(s.place[node]) }
+
+// Now returns the committed global time: the start of the current window.
+// Handlers should use their NodeHandle's Now, which tracks event time.
+func (s *Sharded) Now() Time { return s.now }
+
+// Node returns the scheduling handle for a node.
+func (s *Sharded) Node(n int) *NodeHandle { return &s.handles[n] }
+
+// ShardedStats snapshots the engine's introspection counters. Dispatched and
+// CrossShard are simulation-order-independent; MaxPending is the sum of
+// per-shard heap high-water marks and therefore depends on placement.
+type ShardedStats struct {
+	Now            Time
+	Windows        uint64
+	Dispatched     uint64
+	RecurringFired uint64
+	CrossShard     uint64
+	MaxPending     int
+	Pending        int
+}
+
+// Stats returns a snapshot of the introspection counters. Call only between
+// Run calls.
+func (s *Sharded) Stats() ShardedStats {
+	st := ShardedStats{Now: s.now, Windows: s.windows, CrossShard: s.crossSent}
+	for _, sh := range s.shards {
+		sh.settle()
+		st.Dispatched += sh.dispatched
+		st.RecurringFired += sh.recFired
+		st.MaxPending += sh.maxPending
+		st.Pending += len(sh.ev)
+	}
+	return st
+}
+
+// --- NodeHandle scheduling API ---
+
+// Now returns the node's current simulated time: the time of the event whose
+// handler is running, or the window start between events.
+func (h *NodeHandle) Now() Time { return h.sh.now }
+
+// ID returns the node this handle schedules for.
+func (h *NodeHandle) ID() int { return int(h.node) }
+
+// Shard returns the shard owning this node.
+func (h *NodeHandle) Shard() int { return h.sh.id }
+
+func (h *NodeHandle) nextKey() uint64 {
+	h.seq++
+	return uint64(h.node)<<nodeSeqBits | (h.seq & (1<<nodeSeqBits - 1))
+}
+
+// At schedules fn on this node at absolute time t. Scheduling in the past
+// panics, as on Engine.
+func (h *NodeHandle) At(t Time, fn func()) {
+	if t < h.sh.now {
+		panic(fmt.Sprintf("sim: node %d scheduling event at %d before now %d", h.node, t, h.sh.now))
+	}
+	h.sh.push(shEvent{at: t, key: h.nextKey(), fn: fn, node: h.node})
+}
+
+// After schedules fn on this node d cycles from now.
+func (h *NodeHandle) After(d Time, fn func()) { h.At(h.sh.now+d, fn) }
+
+// Post schedules fn on node dst. A post to a different node must land at
+// least the engine's lookahead in the future — the conservative-window
+// contract — whether or not dst currently shares this node's shard; the
+// bound is enforced uniformly so that results cannot depend on placement.
+// A post to the handle's own node is an At.
+func (h *NodeHandle) Post(dst int, t Time, fn func()) {
+	if int32(dst) == h.node {
+		h.At(t, fn)
+		return
+	}
+	s := h.sh.own
+	if t < h.sh.now+s.lookahead {
+		panic(fmt.Sprintf("sim: node %d posting to node %d at %d violates lookahead %d (now %d)",
+			h.node, dst, t, s.lookahead, h.sh.now))
+	}
+	ev := shEvent{at: t, key: h.nextKey(), fn: fn, node: int32(dst)}
+	dstShard := s.place[dst]
+	if dstShard == int32(h.sh.id) {
+		h.sh.push(ev)
+		return
+	}
+	h.sh.outbox[dstShard] = append(h.sh.outbox[dstShard], ev)
+}
+
+// Every schedules fn on this node at first and then every period cycles
+// until Stop. Semantics match Engine.Every; the record is owned by the
+// node's shard, so Stop must be called from this node's handlers (use Post
+// to ask another node to stop its own recurrences).
+func (h *NodeHandle) Every(first, period Time, fn func()) *Recurring {
+	return h.EveryNamed(first, period, "", fn)
+}
+
+// EveryNamed is Every with an introspection label.
+func (h *NodeHandle) EveryNamed(first, period Time, name string, fn func()) *Recurring {
+	if first < h.sh.now {
+		panic(fmt.Sprintf("sim: node %d scheduling event at %d before now %d", h.node, first, h.sh.now))
+	}
+	if period == 0 {
+		panic("sim: recurring event with zero period")
+	}
+	sh := h.sh
+	var r *Recurring
+	if n := len(sh.recFree); n > 0 {
+		r = sh.recFree[n-1]
+		sh.recFree[n-1] = nil
+		sh.recFree = sh.recFree[:n-1]
+	} else {
+		r = new(Recurring)
+	}
+	*r = Recurring{fn: fn, period: period, name: name}
+	sh.push(shEvent{at: first, key: h.nextKey(), rec: r, node: h.node})
+	return r
+}
+
+// Stop cancels a recurring event owned by this node's shard.
+func (h *NodeHandle) Stop(r *Recurring) { r.stopped = true }
+
+// --- run loop ---
+
+// Run executes events until every shard's heap drains and all mailboxes are
+// empty.
+func (s *Sharded) Run() { s.run(0, false) }
+
+// RunUntil executes events with time ≤ t, then advances the clock to t.
+// A window boundary landing exactly on t is handled like Engine.RunUntil:
+// events at t run, events after t stay queued.
+func (s *Sharded) RunUntil(t Time) { s.run(t, true) }
+
+func (s *Sharded) run(until Time, haveUntil bool) {
+	if len(s.shards) == 1 {
+		s.runSerial(until, haveUntil)
+		return
+	}
+	// One worker goroutine per non-coordinator shard, alive for this run
+	// call. Each gets its own window channel (created here, closed by stop),
+	// so worker lifetime cannot race with a later Run call's channels.
+	var wg sync.WaitGroup
+	work := make([]chan Time, len(s.shards))
+	for i, sh := range s.shards {
+		if i == 0 {
+			continue
+		}
+		ch := make(chan Time)
+		work[i] = ch
+		wg.Add(1)
+		go func(sh *shard, ch chan Time) {
+			defer wg.Done()
+			for horizon := range ch {
+				sh.done <- sh.runWindow(horizon)
+			}
+		}(sh, ch)
+	}
+	stop := func() {
+		for _, ch := range work[1:] {
+			close(ch)
+		}
+		wg.Wait()
+	}
+	for {
+		next, ok := s.nextEventTime()
+		if !ok || (haveUntil && next > until) {
+			break
+		}
+		s.now = next
+		horizon := next + s.lookahead
+		if horizon < next { // overflow guard near Never
+			horizon = Never
+		}
+		if haveUntil && horizon > until && until != Never {
+			horizon = until + 1
+		}
+		for _, ch := range work[1:] {
+			ch <- horizon
+		}
+		pv := s.shards[0].runWindow(horizon)
+		for _, sh := range s.shards[1:] {
+			if v := <-sh.done; v != nil && pv == nil {
+				pv = v
+			}
+		}
+		if pv != nil {
+			stop()
+			panic(pv)
+		}
+		s.deliver()
+		s.windows++
+	}
+	stop()
+	s.finish(until, haveUntil)
+}
+
+// runSerial is the single-shard path: the same window loop without
+// goroutines or barriers, used both for K=1 runs and as the oracle the
+// cross-check tests compare sharded runs against.
+func (s *Sharded) runSerial(until Time, haveUntil bool) {
+	sh := s.shards[0]
+	for {
+		next, ok := s.nextEventTime()
+		if !ok || (haveUntil && next > until) {
+			break
+		}
+		s.now = next
+		horizon := next + s.lookahead
+		if horizon < next {
+			horizon = Never
+		}
+		if haveUntil && horizon > until && until != Never {
+			horizon = until + 1
+		}
+		if pv := sh.runWindow(horizon); pv != nil {
+			panic(pv)
+		}
+		s.windows++
+	}
+	s.finish(until, haveUntil)
+}
+
+func (s *Sharded) finish(until Time, haveUntil bool) {
+	if haveUntil && until > s.now {
+		s.now = until
+	}
+	for _, sh := range s.shards {
+		if s.now > sh.now {
+			sh.now = s.now
+		}
+	}
+}
+
+// nextEventTime returns the earliest pending event time across all shards.
+// Mailboxes are empty whenever it runs (between windows).
+func (s *Sharded) nextEventTime() (Time, bool) {
+	t, ok := Never, false
+	for _, sh := range s.shards {
+		sh.settle()
+		if len(sh.ev) > 0 && (!ok || sh.ev[0].at < t) {
+			t, ok = sh.ev[0].at, true
+		}
+	}
+	return t, ok
+}
+
+// deliver drains every outbox into its destination heap. Runs on the
+// coordinator between windows; the barrier orders it after all producers.
+func (s *Sharded) deliver() {
+	for _, src := range s.shards {
+		for d, box := range src.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			dst := s.shards[d]
+			for _, ev := range box {
+				dst.push(ev)
+			}
+			s.crossSent += uint64(len(box))
+			src.outbox[d] = box[:0]
+		}
+	}
+}
+
+// runWindow executes this shard's events with at < horizon in (at, key)
+// order, returning a recovered panic value (nil normally). Window start time
+// is committed by the coordinator; the shard clock follows event times.
+func (sh *shard) runWindow(horizon Time) (pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+		}
+	}()
+	for {
+		sh.settle()
+		if len(sh.ev) == 0 || sh.ev[0].at >= horizon {
+			return nil
+		}
+		ev := sh.pop()
+		sh.now = ev.at
+		sh.dispatched++
+		if r := ev.rec; r != nil {
+			// Requeue before firing, as Engine.Step does, so fn observes a
+			// consistent pending count and Stop reaps the queued occurrence.
+			h := &sh.own.handles[ev.node]
+			sh.push(shEvent{at: ev.at + r.period, key: h.nextKey(), rec: r, node: ev.node})
+			sh.recFired++
+			r.fn()
+			continue
+		}
+		ev.fn()
+	}
+}
+
+// settle discards stopped recurring occurrences at the heap head, recycling
+// their records (mirrors Engine.settle).
+func (sh *shard) settle() {
+	for len(sh.ev) > 0 && sh.ev[0].rec != nil && sh.ev[0].rec.stopped {
+		ev := sh.pop()
+		ev.rec.fn = nil
+		sh.recFree = append(sh.recFree, ev.rec)
+	}
+}
+
+// --- per-shard inlined 4-ary min-heap over (at, key) ---
+
+func shLess(a, b *shEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.key < b.key
+}
+
+func (sh *shard) push(ev shEvent) {
+	sh.ev = append(sh.ev, ev)
+	if len(sh.ev) > sh.maxPending {
+		sh.maxPending = len(sh.ev)
+	}
+	i := len(sh.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !shLess(&sh.ev[i], &sh.ev[parent]) {
+			break
+		}
+		sh.ev[i], sh.ev[parent] = sh.ev[parent], sh.ev[i]
+		i = parent
+	}
+}
+
+func (sh *shard) pop() shEvent {
+	top := sh.ev[0]
+	n := len(sh.ev) - 1
+	sh.ev[0] = sh.ev[n]
+	sh.ev[n] = shEvent{}
+	sh.ev = sh.ev[:n]
+	if n > 1 {
+		sh.siftDown(0)
+	}
+	return top
+}
+
+func (sh *shard) siftDown(i int) {
+	n := len(sh.ev)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if shLess(&sh.ev[c], &sh.ev[min]) {
+				min = c
+			}
+		}
+		if !shLess(&sh.ev[min], &sh.ev[i]) {
+			return
+		}
+		sh.ev[i], sh.ev[min] = sh.ev[min], sh.ev[i]
+		i = min
+	}
+}

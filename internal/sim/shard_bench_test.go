@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// shardBenchWorkload is a dense synthetic PDES load: every node runs a
+// recurring handler that burns a little CPU on node-local state and forwards
+// a message to its ring neighbour one lookahead ahead. Handler cost is the
+// knob that makes the parallel win visible: with ~μs handlers the window
+// barrier amortizes, which is exactly the regime a 256-node protocol-level
+// mesh simulation lives in.
+func shardBenchWorkload(b *testing.B, nodes, shards, spin int, horizon Time) ShardedStats {
+	const lookahead = 10
+	s, err := NewSharded(nodes, shards, lookahead)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := make([]uint64, nodes)
+	var hop func(n int) func()
+	hop = func(n int) func() {
+		return func() {
+			h := s.Node(n)
+			v := state[n]
+			for i := 0; i < spin; i++ {
+				v = mix(v, uint64(i))
+			}
+			state[n] = v
+			next := (n + 1) % nodes
+			if at := h.Now() + lookahead; at < horizon {
+				h.Post(next, at, hop(next))
+			}
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		state[n] = uint64(n) + 1
+		s.Node(n).At(Time(n%int(lookahead)), hop(n))
+	}
+	s.Run()
+	return s.Stats()
+}
+
+// BenchmarkSharded measures events/sec of the partitioned engine across
+// shard counts. On a single-core host K>1 only measures barrier overhead;
+// on an N-core host throughput should scale near-linearly until K reaches
+// the core count (see `make speedup-smoke`).
+func BenchmarkSharded(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		if k > 1 && k > 2*runtime.GOMAXPROCS(0) {
+			continue
+		}
+		b.Run(fmt.Sprintf("nodes=256/K=%d", k), func(b *testing.B) {
+			var dispatched uint64
+			for i := 0; i < b.N; i++ {
+				st := shardBenchWorkload(b, 256, k, 64, 20_000)
+				dispatched = st.Dispatched
+			}
+			b.ReportMetric(float64(dispatched)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// mix folds a value into a node's running fingerprint (splitmix64 finalizer:
+// order-sensitive, so any reordering of a node's events changes the fold).
+func mix(h, v uint64) uint64 {
+	h += 0x9e3779b97f4a7c15 + v
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// chainWorkload builds a deterministic message-chain workload over nodes:
+// every node starts a chain of hops that mutate per-node state, self-schedule
+// local events, and post onward to a pseudo-random next node ≥ lookahead
+// ahead. It returns the per-node fingerprints after the run.
+func chainWorkload(t *testing.T, nodes, shards int, lookahead Time, place func(int) int) ([]uint64, ShardedStats) {
+	t.Helper()
+	var (
+		s   *Sharded
+		err error
+	)
+	if place == nil {
+		s, err = NewSharded(nodes, shards, lookahead)
+	} else {
+		s, err = NewShardedPlaced(nodes, shards, lookahead, place)
+	}
+	if err != nil {
+		t.Fatalf("NewSharded(%d, %d, %d): %v", nodes, shards, lookahead, err)
+	}
+	state := make([]uint64, nodes)
+
+	// hop executes on node n: fold, occasionally self-schedule a local echo,
+	// and forward the chain until its budget drains.
+	var hop func(n int, budget int) func()
+	hop = func(n int, budget int) func() {
+		return func() {
+			h := s.Node(n)
+			state[n] = mix(state[n], uint64(h.Now())<<8|uint64(n))
+			if budget == 0 {
+				return
+			}
+			if state[n]&3 == 0 {
+				h.After(Time(state[n]%7), func() {
+					state[n] = mix(state[n], uint64(h.Now())^0xabcd)
+				})
+			}
+			next := int(state[n]>>13) % nodes
+			delay := lookahead + Time(state[n]%11)
+			h.Post(next, h.Now()+delay, hop(next, budget-1))
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		state[n] = uint64(n)*2654435761 + 1
+		s.Node(n).At(Time(n%5), hop(n, 40))
+	}
+	// A few recurring ticks spread over the population, stopped mid-run from
+	// their own node's handler.
+	for n := 0; n < nodes; n += 5 {
+		n := n
+		h := s.Node(n)
+		var rec *Recurring
+		rec = h.EveryNamed(3, 17, "tick", func() {
+			state[n] = mix(state[n], uint64(h.Now())|1<<40)
+			if h.Now() > 400 {
+				h.Stop(rec)
+			}
+		})
+	}
+	s.Run()
+	return state, s.Stats()
+}
+
+// TestShardedBitIdentityAcrossK is the engine-level determinism oracle: the
+// K=1 serial run fixes the reference fingerprints, and every K must
+// reproduce them exactly, along with the dispatch counters and final clock.
+func TestShardedBitIdentityAcrossK(t *testing.T) {
+	const nodes = 32
+	ref, refStats := chainWorkload(t, nodes, 1, 10, nil)
+	for _, k := range []int{2, 4, 8} {
+		got, gotStats := chainWorkload(t, nodes, k, 10, nil)
+		for n := range ref {
+			if got[n] != ref[n] {
+				t.Fatalf("K=%d: node %d fingerprint %#x != serial %#x", k, n, got[n], ref[n])
+			}
+		}
+		if gotStats.Dispatched != refStats.Dispatched || gotStats.RecurringFired != refStats.RecurringFired {
+			t.Fatalf("K=%d: dispatched %d/%d != serial %d/%d", k,
+				gotStats.Dispatched, gotStats.RecurringFired, refStats.Dispatched, refStats.RecurringFired)
+		}
+		if gotStats.Now != refStats.Now {
+			t.Fatalf("K=%d: final time %d != serial %d", k, gotStats.Now, refStats.Now)
+		}
+		if k > 1 && gotStats.CrossShard == 0 {
+			t.Fatalf("K=%d: no cross-shard traffic — workload is not exercising mailboxes", k)
+		}
+	}
+}
+
+// TestShardedPlacementIndependence: results must not depend on which shard a
+// node lands on, only on the event keys — block vs round-robin placement.
+func TestShardedPlacementIndependence(t *testing.T) {
+	const nodes, k = 24, 4
+	block, _ := chainWorkload(t, nodes, k, 10, nil)
+	rr, _ := chainWorkload(t, nodes, k, 10, func(n int) int { return n % k })
+	for n := range block {
+		if block[n] != rr[n] {
+			t.Fatalf("node %d: block placement %#x != round-robin %#x", n, block[n], rr[n])
+		}
+	}
+}
+
+// TestShardedZeroLookaheadRejected: zero lookahead must be a clear
+// constructor error, not a deadlocked first window.
+func TestShardedZeroLookaheadRejected(t *testing.T) {
+	_, err := NewSharded(16, 4, 0)
+	if err == nil {
+		t.Fatal("NewSharded with zero lookahead succeeded; want error")
+	}
+	if !strings.Contains(err.Error(), "lookahead") {
+		t.Fatalf("zero-lookahead error does not name the problem: %v", err)
+	}
+	if _, err := NewSharded(16, 1, 0); err == nil {
+		t.Fatal("zero lookahead must be rejected even at one shard (placement independence)")
+	}
+	if _, err := NewSharded(0, 1, 5); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewSharded(16, 0, 5); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+// TestShardedLookaheadViolationPanics: a cross-node post closer than the
+// lookahead is a protocol bug and must panic with a diagnostic — including
+// when it happens on a worker shard's goroutine, where the panic must be
+// forwarded to the caller.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	for _, k := range []int{1, 4} {
+		s, err := NewSharded(8, k, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Node 7 lives on the last shard (a worker goroutine when k > 1).
+		h := s.Node(7)
+		h.At(50, func() {
+			h.Post(0, h.Now()+9, func() {}) // 9 < lookahead 10
+		})
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("K=%d: lookahead violation did not panic", k)
+				}
+				if !strings.Contains(r.(string), "lookahead") {
+					t.Fatalf("K=%d: panic %q does not name lookahead", k, r)
+				}
+			}()
+			s.Run()
+		}()
+	}
+}
+
+// TestShardedRecurringAcrossShards: recurring events owned by different
+// shards fire on their own clocks, and a remote node can stop another
+// node's recurrence only via a posted request to its owner.
+func TestShardedRecurringAcrossShards(t *testing.T) {
+	run := func(k int) (fired [2]int, stats ShardedStats) {
+		s, err := NewSharded(16, k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h0, h15 := s.Node(0), s.Node(15) // first and last shard under any k
+		var rec0, rec15 *Recurring
+		rec0 = h0.Every(0, 7, func() { fired[0]++ })
+		rec15 = h15.Every(3, 11, func() { fired[1]++ })
+		// Node 0 asks node 15 to stop its tick at t=60; node 15 stops its own
+		// record when asked. Node 15's shard owns rec15, so the stop happens
+		// on the owning shard.
+		h0.At(55, func() {
+			h0.Post(15, 60, func() { h15.Stop(rec15) })
+		})
+		h0.At(100, func() { h0.Stop(rec0) })
+		s.RunUntil(200)
+		return fired, s.Stats()
+	}
+	refFired, refStats := run(1)
+	if refFired[0] == 0 || refFired[1] == 0 {
+		t.Fatalf("serial recurrences did not fire: %v", refFired)
+	}
+	// rec0 fires at 0,7,...,98 (stopped at 100): 15 times. rec15 at
+	// 3,14,...,58 (stopped at 60): 6 times.
+	if refFired[0] != 15 || refFired[1] != 6 {
+		t.Fatalf("serial fire counts %v, want [15 6]", refFired)
+	}
+	for _, k := range []int{2, 4, 8} {
+		gotFired, gotStats := run(k)
+		if gotFired != refFired {
+			t.Fatalf("K=%d: fire counts %v != serial %v", k, gotFired, refFired)
+		}
+		if gotStats.RecurringFired != refStats.RecurringFired {
+			t.Fatalf("K=%d: RecurringFired %d != serial %d", k, gotStats.RecurringFired, refStats.RecurringFired)
+		}
+	}
+}
+
+// TestShardedRunUntilWindowBoundary pins RunUntil semantics when the limit
+// coincides exactly with a window boundary: events at the limit run, events
+// after it stay queued, and the clock lands exactly on the limit.
+func TestShardedRunUntilWindowBoundary(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		const L = 10
+		s, err := NewSharded(8, k, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-node recordings: same-window events on different nodes run
+		// concurrently at k ≥ 2, so they must not share a slice.
+		var at [8][]Time
+		sched := func(n int, t Time) {
+			h := s.Node(n)
+			h.At(t, func() { at[n] = append(at[n], h.Now()) })
+		}
+		// First window starts at 0 with horizon 10, so 10 is exactly the
+		// boundary of the window that the t=0 event opens.
+		sched(0, 0)
+		sched(0, L) // exactly on the first window boundary == RunUntil limit
+		sched(3, L) // same boundary, different node (different shard at k≥2)
+		sched(0, L+1)
+		s.RunUntil(L)
+		if s.Now() != L {
+			t.Fatalf("K=%d: Now()=%d after RunUntil(%d)", k, s.Now(), L)
+		}
+		if len(at[0]) != 2 || at[0][0] != 0 || at[0][1] != L || len(at[3]) != 1 || at[3][0] != L {
+			t.Fatalf("K=%d: ran events node0=%v node3=%v, want [0 %d] and [%d]", k, at[0], at[3], L, L)
+		}
+		if p := s.Stats().Pending; p != 1 {
+			t.Fatalf("K=%d: %d events pending after RunUntil, want 1 (the t=%d one)", k, p, L+1)
+		}
+		// Resuming runs the remaining event and advances to the new limit
+		// even though it is past the last event (idle advance).
+		s.RunUntil(2 * L)
+		if s.Now() != 2*L || len(at[0]) != 3 || at[0][2] != L+1 {
+			t.Fatalf("K=%d: after resume Now()=%d node0=%v", k, s.Now(), at[0])
+		}
+		// RunUntil in the past of the clock is a no-op.
+		s.RunUntil(L)
+		if s.Now() != 2*L {
+			t.Fatalf("K=%d: RunUntil backwards moved the clock to %d", k, s.Now())
+		}
+	}
+}
+
+// TestShardedRunUntilIdleAdvance: RunUntil with an empty queue still commits
+// the clock, on every shard (a node handle's Now must agree).
+func TestShardedRunUntilIdleAdvance(t *testing.T) {
+	s, err := NewSharded(4, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1000)
+	if s.Now() != 1000 {
+		t.Fatalf("Now()=%d, want 1000", s.Now())
+	}
+	for n := 0; n < 4; n++ {
+		if got := s.Node(n).Now(); got != 1000 {
+			t.Fatalf("node %d clock %d, want 1000", n, got)
+		}
+	}
+}
+
+// TestShardedShardsClamped: more shards than nodes clamps rather than
+// leaving empty partitions.
+func TestShardedShardsClamped(t *testing.T) {
+	s, err := NewSharded(3, 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 3 {
+		t.Fatalf("Shards()=%d, want 3", s.Shards())
+	}
+	for n := 0; n < 3; n++ {
+		if sh := s.ShardOf(n); sh < 0 || sh >= 3 {
+			t.Fatalf("node %d on shard %d", n, sh)
+		}
+	}
+}

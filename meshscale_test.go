@@ -1,0 +1,39 @@
+package pimdsm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeshScale: the experiment cross-checks every partitioned run against
+// its K=1 oracle internally (MeshScale errors on divergence), so this just
+// exercises a small sweep and the table rendering.
+func TestMeshScale(t *testing.T) {
+	pts, err := MeshScale([]int{8}, 4, 4_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 { // K = 1, 2, 4
+		t.Fatalf("got %d points, want 3: %+v", len(pts), pts)
+	}
+	for _, p := range pts {
+		if !p.Identical {
+			t.Fatalf("K=%d not identical to oracle", p.Shards)
+		}
+		if p.Stats.Delivered == 0 || p.Events == 0 {
+			t.Fatalf("K=%d empty run: %+v", p.Shards, p)
+		}
+		if p.Shards > 1 && p.CrossShard == 0 {
+			t.Fatalf("K=%d exchanged no cross-shard messages", p.Shards)
+		}
+	}
+	out := FormatMeshScale(pts)
+	for _, want := range []string{"8x8", "identical", "true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Fatalf("table reports a divergent row:\n%s", out)
+	}
+}
