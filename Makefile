@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke speedup-smoke
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,15 @@ check-stats:
 # cache index.
 serve-smoke:
 	$(GO) test -race -count 1 -run 'TestServeSmoke|TestSmokeMetricsArtifact' ./cmd/aggsimd
+
+# soak-smoke is the observability/SLO gate, run under the race detector: a
+# concurrent client storm through the real daemon, audited by the soak
+# harness — p99 submit/status latency SLOs, bounded 429 pushback, the
+# exactly-once simulation proof from the engine counters, complete ordered
+# lifecycle event chains for every job, and a /metrics.prom exposition that
+# passes the strict Prometheus text parser.
+soak-smoke:
+	$(GO) test -race -count 1 -run 'TestSoakSmoke' -v ./cmd/aggsimd
 
 # bench-json snapshots simulator wall-clock throughput into a dated JSON
 # file; committing snapshots over time tracks the perf trajectory.

@@ -9,7 +9,7 @@
 //
 //	aggsimd [-addr localhost:8977] [-workers 2] [-sweep-workers 0]
 //	        [-queue 16] [-cache-entries 512] [-cache-file aggsimd.cache]
-//	        [-drain-timeout 30s]
+//	        [-drain-timeout 30s] [-log stderr|off|PATH] [-log-level info]
 //
 // -workers bounds concurrently running jobs; -sweep-workers bounds the
 // simulations one job runs in parallel (0 = GOMAXPROCS divided across the
@@ -23,7 +23,14 @@
 // graceful shutdown, verified and reloaded on start).
 //
 // The daemon serves the obs dashboard routes (/, /debug/vars,
-// /debug/pprof/) next to the API; /healthz reports liveness. SIGINT or
+// /debug/pprof/) next to the API; /healthz reports liveness and /readyz
+// readiness (503 while draining or with a saturated admission window).
+// Every request is logged as one structured JSON line (-log selects the
+// destination, -log-level the floor), tagged with an X-Request-ID that is
+// also echoed to clients. Job lifecycle events stream over
+// GET /api/v1/events (SSE; resume with Last-Event-ID) and per-job under
+// /api/v1/jobs/{id}/events (add ?format=chrome for a chrome://tracing
+// export); GET /metrics.prom exposes Prometheus text metrics. SIGINT or
 // SIGTERM starts a graceful drain: running jobs finish (up to
 // -drain-timeout), queued jobs abort, the cache index is persisted, then
 // the process exits.
@@ -40,6 +47,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -101,8 +109,26 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	cacheEntries := fs.Int("cache-entries", 512, "result cache LRU bound")
 	cacheFile := fs.String("cache-file", "", "persist the cache index to this file across restarts")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown")
+	logDest := fs.String("log", "stderr", "structured JSON log destination: stderr, off, or a file path")
+	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn, error")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var svcLog *slog.Logger
+	switch *logDest {
+	case "off":
+		// Options default to a no-op logger.
+	case "stderr", "":
+		svcLog = pimdsm.NewServiceLogger(stderr, *logLevel, false)
+	default:
+		f, err := os.OpenFile(*logDest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(stderr, "aggsimd: -log:", err)
+			return 1
+		}
+		defer f.Close()
+		svcLog = pimdsm.NewServiceLogger(f, *logLevel, false)
 	}
 
 	sw, warn := effectiveSweepWorkers(*workers, *sweepWorkers, runtime.GOMAXPROCS(0))
@@ -115,6 +141,8 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		QueueLimit:   *queue,
 		CacheEntries: *cacheEntries,
 		CachePath:    *cacheFile,
+		Log:          svcLog,
+		Events:       pimdsm.NewEventLog(0),
 	}, sw)
 	if err != nil {
 		fmt.Fprintln(stderr, "aggsimd:", err)

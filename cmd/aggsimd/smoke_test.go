@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
@@ -38,6 +39,21 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 		t.Fatalf("daemon exited %d before listening:\n%s", code, logs.String())
 	case <-time.After(10 * time.Second):
 		t.Fatalf("daemon never started listening:\n%s", logs.String())
+	}
+	// Listening is not serving: gate on readiness, like a deployment's
+	// health check would, so tests never race the daemon's startup.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := http.Get("http://" + d.addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became ready: err=%v\n%s", err, logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	return d
 }

@@ -23,11 +23,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"pimdsm"
 )
+
+// gitCommit resolves the working tree's HEAD, "-dirty" suffixed when the
+// tree has uncommitted changes. Best-effort: any failure returns "".
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if commit == "" {
+		return ""
+	}
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+		len(strings.TrimSpace(string(status))) > 0 {
+		commit += "-dirty"
+	}
+	return commit
+}
 
 type benchRun struct {
 	Arch         string  `json:"arch"`
@@ -40,7 +60,10 @@ type benchRun struct {
 }
 
 type benchDoc struct {
-	Date       string     `json:"date"`
+	Date string `json:"date"`
+	// Commit ties the snapshot to the exact tree it measured (best-effort:
+	// empty when git or the repo is unavailable, e.g. a tarball build).
+	Commit     string     `json:"commit,omitempty"`
 	Go         string     `json:"go"`
 	CPUs       int        `json:"cpus"`
 	GoMaxProcs int        `json:"gomaxprocs"`
@@ -64,6 +87,7 @@ func realMain() int {
 
 	doc := benchDoc{
 		Date:       time.Now().Format("2006-01-02"),
+		Commit:     gitCommit(),
 		Go:         runtime.Version(),
 		CPUs:       runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),

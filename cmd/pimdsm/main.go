@@ -12,6 +12,14 @@
 //	pimdsm status [-addr host:port] <job-id>
 //	pimdsm result [-addr host:port] <job-id> [-o out.json]
 //	pimdsm jobs   [-addr host:port]
+//	pimdsm watch  [-addr host:port] [-job id]
+//	pimdsm events [-addr host:port] <job-id> [-json]
+//
+// `watch` tails the daemon's live job-lifecycle event stream (SSE) and
+// reconnects with Last-Event-ID after a dropped connection, so no events are
+// missed across daemon hiccups. `events` prints one finished job's complete
+// lifecycle chain. With -wait, `submit` honors the daemon's Retry-After
+// pushback instead of giving up on a full admission window.
 //
 // `trace dump` pretty-prints events recorded by `aggsim -trace-bin` in
 // sim-time order with per-kind totals; `trace convert` rewrites a binary
@@ -55,6 +63,10 @@ func realMain(args []string) int {
 		return resultCmd(args[1:])
 	case "jobs":
 		return jobsCmd(args[1:])
+	case "watch":
+		return watchCmd(args[1:])
+	case "events":
+		return eventsCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
 		usage()
@@ -71,6 +83,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       pimdsm status [-addr host:port] <job-id>")
 	fmt.Fprintln(os.Stderr, "       pimdsm result [-addr host:port] <job-id> [-o out.json]")
 	fmt.Fprintln(os.Stderr, "       pimdsm jobs   [-addr host:port]")
+	fmt.Fprintln(os.Stderr, "       pimdsm watch  [-addr host:port] [-job id]")
+	fmt.Fprintln(os.Stderr, "       pimdsm events [-addr host:port] <job-id> [-json]")
 }
 
 func traceCmd(args []string) int {

@@ -24,6 +24,7 @@ func submitCmd(args []string) int {
 	metrics := fs.Bool("metrics", false, "attach a per-job metrics artifact")
 	spans := fs.Bool("spans", false, "attach a per-job span artifact (runs serial)")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final status")
+	busyRetries := fs.Int("busy-retries", 10, "with -wait: resubmissions absorbed on 429 pushback (honoring Retry-After)")
 	progress := fs.Bool("progress", false, "stream job progress to stderr (implies -wait)")
 	fig6 := fs.Bool("figure6", false, "submit the paper's Figure 6 batch for -app")
 	arch := fs.String("arch", "agg", "architecture: agg, numa or coma")
@@ -61,7 +62,20 @@ func submitCmd(args []string) int {
 	}
 
 	c := pimdsm.NewServiceClient(*addr)
-	st, err := c.Submit(spec)
+	var st pimdsm.JobStatus
+	var err error
+	if *wait || *progress {
+		// A waiting submit honors the daemon's admission pushback: sleep
+		// the Retry-After the 429 carried and resubmit, rather than making
+		// the caller script the backoff loop.
+		var retries int
+		st, retries, err = c.SubmitRetry(context.Background(), spec, *busyRetries, 0)
+		if retries > 0 && err == nil {
+			fmt.Fprintf(os.Stderr, "pimdsm submit: admitted after %d busy retries\n", retries)
+		}
+	} else {
+		st, err = c.Submit(spec)
+	}
 	if err != nil {
 		if be, ok := err.(*pimdsm.BusyError); ok {
 			fmt.Fprintf(os.Stderr, "pimdsm submit: server busy, retry in %s\n", be.RetryAfter)
@@ -189,6 +203,96 @@ func resultCmd(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// watchCmd tails the daemon's live lifecycle event stream. The SSE
+// connection is re-established with Last-Event-ID after any drop, so the
+// daemon replays what the watcher missed and no transition is lost.
+func watchCmd(args []string) int {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	job := fs.String("job", "", "only this job's events (default: all jobs)")
+	reconnect := fs.Duration("reconnect", time.Second, "wait between reconnect attempts (0 = exit on disconnect)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	c := pimdsm.NewServiceClient(*addr)
+	var last uint64
+	for {
+		got, err := c.StreamEvents(context.Background(), last, *job, printEvent)
+		if got > last {
+			last = got
+		}
+		if *reconnect <= 0 {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pimdsm watch:", err)
+				return 1
+			}
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimdsm watch: %v; reconnecting after seq %d\n", err, last)
+		}
+		time.Sleep(*reconnect)
+	}
+}
+
+// eventsCmd prints one job's complete lifecycle event chain.
+func eventsCmd(args []string) int {
+	fs := flag.NewFlagSet("events", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	asJSON := fs.Bool("json", false, "print the raw event JSON")
+	// Accept the job id anywhere among the flags (the flag package stops at
+	// the first non-flag argument, so re-parse whatever follows the id).
+	var id string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		if id == "" {
+			id = fs.Arg(0)
+		}
+		args = fs.Args()[1:]
+	}
+	if id == "" {
+		fmt.Fprintln(os.Stderr, "pimdsm events: need a job id")
+		return 2
+	}
+	events, err := pimdsm.NewServiceClient(*addr).JobEvents(id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm events:", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Events []pimdsm.JobEvent `json:"events"`
+		}{events})
+		return 0
+	}
+	for _, ev := range events {
+		printEvent(ev)
+	}
+	return 0
+}
+
+func printEvent(ev pimdsm.JobEvent) {
+	line := fmt.Sprintf("%6d %s %-10s +%dus  queue %d running %d",
+		ev.Seq, ev.Job, ev.Kind, ev.SinceSubmitUS, ev.QueueDepth, ev.Running)
+	if ev.Config >= 0 {
+		line += fmt.Sprintf("  config %d", ev.Config)
+	}
+	if ev.Cycles > 0 {
+		line += fmt.Sprintf("  %d cycles", ev.Cycles)
+	}
+	if ev.Detail != "" {
+		line += "  " + ev.Detail
+	}
+	fmt.Println(line)
 }
 
 func jobsCmd(args []string) int {

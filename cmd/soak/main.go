@@ -1,0 +1,78 @@
+// Command soak storms a running aggsimd daemon with concurrent clients and
+// audits the daemon's answers: p99 submit/status latency SLOs, bounded
+// admission pushback (429s absorbed by honoring Retry-After), an
+// exactly-once simulation proof from the engine cycle counters, complete and
+// ordered job lifecycle event chains, and a parseable /metrics.prom
+// exposition. Exit status 0 means every assertion held.
+//
+// Usage:
+//
+//	soak -addr localhost:8977 [-clients 4] [-jobs 4]
+//	     [-app fft] [-threads 8] [-scale 0.05]
+//	     [-submit-slo 0] [-status-slo 0] [-json]
+//
+// Jobs cycle through the paper's Figure 6 configuration batch for -app plus
+// smaller single-config batches carved from it, so the storm exercises the
+// cache, singleflight and admission paths at once. SLO flags of 0 skip the
+// latency assertions (useful for a first calibration run; feed the reported
+// p99s back in as budgets).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pimdsm"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8977", "aggsimd daemon address")
+	clients := flag.Int("clients", 4, "concurrent submitting clients")
+	jobs := flag.Int("jobs", 4, "jobs per client")
+	app := flag.String("app", "fft", "workload for the configuration batch")
+	threads := flag.Int("threads", 8, "threads per configuration")
+	scale := flag.Float64("scale", 0.05, "problem-size scale for the batch")
+	submitSLO := flag.Duration("submit-slo", 0, "p99 submit latency budget (0 = report only)")
+	statusSLO := flag.Duration("status-slo", 0, "p99 status latency budget (0 = report only)")
+	wait := flag.Duration("wait", 2*time.Minute, "per-job completion timeout")
+	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	flag.Parse()
+
+	batch := pimdsm.Figure6Specs(*app, *threads, *scale)
+	if len(batch) == 0 {
+		fmt.Fprintln(os.Stderr, "soak: empty configuration batch")
+		os.Exit(2)
+	}
+	// Whole batch, plus per-config singles: overlapping payloads are what
+	// drive the cache-hit and singleflight paths under contention.
+	specs := []pimdsm.JobSpec{{Configs: batch}}
+	for _, cs := range batch {
+		specs = append(specs, pimdsm.JobSpec{Configs: []pimdsm.ConfigSpec{cs}})
+	}
+
+	rep, err := pimdsm.RunSoak(*addr, pimdsm.SoakOptions{
+		Clients:       *clients,
+		JobsPerClient: *jobs,
+		Specs:         specs,
+		SubmitSLO:     *submitSLO,
+		StatusSLO:     *statusSLO,
+		Wait:          *wait,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Print(rep.Summary())
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+package svclog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func ev(job string, kind JobEventKind) JobEvent {
+	return JobEvent{Job: job, Kind: kind, At: time.Unix(100, 0), Config: -1}
+}
+
+func TestEventLogSequenceAndPerJob(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 5; i++ {
+		got := l.Append(ev("j-1", EvSimulated))
+		if got.Seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, got.Seq)
+		}
+	}
+	l.Append(ev("j-2", EvSubmitted))
+	if l.Seq() != 6 {
+		t.Fatalf("head seq = %d", l.Seq())
+	}
+	if got := l.Job("j-1"); len(got) != 5 {
+		t.Fatalf("j-1 chain has %d events", len(got))
+	}
+	if got := l.Job("j-2"); len(got) != 1 || got[0].Seq != 6 {
+		t.Fatalf("j-2 chain: %+v", got)
+	}
+	since, head := l.Since(4)
+	if head != 6 || len(since) != 2 || since[0].Seq != 5 || since[1].Seq != 6 {
+		t.Fatalf("Since(4) = %+v head %d", since, head)
+	}
+}
+
+func TestEventLogRingRotation(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(ev("j", EvSimulated))
+	}
+	since, head := l.Since(0)
+	if head != 10 {
+		t.Fatalf("head = %d", head)
+	}
+	// Only the last 4 survive the ring; the caller sees the gap via Seq.
+	if len(since) != 4 || since[0].Seq != 7 || since[3].Seq != 10 {
+		t.Fatalf("rotated Since(0): %+v", since)
+	}
+	// Per-job chains are complete regardless of ring rotation.
+	if got := l.Job("j"); len(got) != 10 {
+		t.Fatalf("per-job chain lost events under rotation: %d", len(got))
+	}
+}
+
+func TestEventLogSubscribe(t *testing.T) {
+	l := NewEventLog(16)
+	ch, cancel := l.Subscribe(4)
+	l.Append(ev("j", EvSubmitted))
+	l.Append(ev("j", EvQueued))
+	if e := <-ch; e.Kind != EvSubmitted || e.Seq != 1 {
+		t.Fatalf("first delivery: %+v", e)
+	}
+	if e := <-ch; e.Kind != EvQueued {
+		t.Fatalf("second delivery: %+v", e)
+	}
+	// A full subscriber buffer drops (counted), never blocks the appender.
+	for i := 0; i < 10; i++ {
+		l.Append(ev("j", EvSimulated))
+	}
+	if st := l.Stats(); st.Dropped == 0 || st.Subscribers != 1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	cancel()
+	if _, open := <-ch; open {
+		// drain until closed
+		for range ch {
+		}
+	}
+	if st := l.Stats(); st.Subscribers != 0 {
+		t.Fatalf("cancel left a subscriber: %+v", st)
+	}
+	cancel() // idempotent
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	base := time.Unix(1000, 0)
+	events := []JobEvent{
+		{Seq: 1, Job: "j-1", Kind: EvSubmitted, At: base, Config: -1},
+		{Seq: 2, Job: "j-1", Kind: EvStarted, At: base.Add(time.Millisecond), Config: -1, QueueDepth: 1},
+		{Seq: 3, Job: "j-1", Kind: EvSimulated, At: base.Add(2 * time.Millisecond), Config: 0, Cycles: 123},
+		{Seq: 4, Job: "j-1", Kind: EvDone, At: base.Add(3 * time.Millisecond), Config: -1, SinceSubmitUS: 3000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v\n%s", err, buf.String())
+	}
+	// 4 instants plus the job-life "X" span emitted at the terminal event.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("exported %d trace events, want 5", len(doc.TraceEvents))
+	}
+	var sawSpan bool
+	for _, te := range doc.TraceEvents {
+		if te["ph"] == "X" {
+			sawSpan = true
+			if te["dur"].(float64) != 3000 {
+				t.Fatalf("job span dur = %v, want 3000us", te["dur"])
+			}
+		}
+	}
+	if !sawSpan {
+		t.Fatal("no job-life X span in export")
+	}
+}

@@ -1,0 +1,205 @@
+package svclog
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pimdsm/internal/sim"
+	"pimdsm/internal/stats"
+)
+
+// RequestIDHeader is the request-correlation header: an inbound value is
+// propagated, a missing one is stamped, and the response always echoes it.
+const RequestIDHeader = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request ID the middleware stamped into ctx ("" when
+// the request did not pass through the middleware).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// reqSeq and procToken make generated request IDs unique across concurrent
+// requests and across daemon restarts without consulting the clock.
+var (
+	reqSeq    atomic.Uint64
+	procToken = func() string {
+		var b [4]byte
+		rand.Read(b[:])
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("r-%s-%06d", procToken, reqSeq.Add(1))
+}
+
+// EndpointStats accumulates one route's request counters: a power-of-two
+// latency histogram in microseconds (reusing stats.LatHist, the simulator's
+// bucket layout), the exact latency sum, and per-status-code counts.
+type EndpointStats struct {
+	Count  uint64
+	SumUS  uint64
+	Hist   stats.LatHist
+	Status map[int]uint64
+}
+
+// HTTPStats holds per-endpoint request statistics, keyed by the mux route
+// pattern ("GET /api/v1/jobs/{id}") so path parameters do not explode the
+// key space.
+type HTTPStats struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointStats
+}
+
+// NewHTTPStats returns an empty per-endpoint statistics table.
+func NewHTTPStats() *HTTPStats {
+	return &HTTPStats{endpoints: make(map[string]*EndpointStats)}
+}
+
+// Observe records one completed request.
+func (h *HTTPStats) Observe(route string, status int, d time.Duration) {
+	us := uint64(d.Microseconds())
+	h.mu.Lock()
+	ep := h.endpoints[route]
+	if ep == nil {
+		ep = &EndpointStats{Status: make(map[int]uint64)}
+		h.endpoints[route] = ep
+	}
+	ep.Count++
+	ep.SumUS += us
+	ep.Hist.Observe(sim.Time(us))
+	ep.Status[status]++
+	h.mu.Unlock()
+}
+
+// EndpointSnapshot is one route's copied counters.
+type EndpointSnapshot struct {
+	Route  string
+	Count  uint64
+	SumUS  uint64
+	Hist   stats.LatHist
+	Status map[int]uint64
+}
+
+// P99US returns an upper bound on the route's 99th-percentile latency in
+// microseconds (the containing power-of-two bucket's upper edge).
+func (e *EndpointSnapshot) P99US() uint64 {
+	return uint64(e.Hist.Percentile(0.99))
+}
+
+// Snapshot copies every endpoint's counters, sorted by route for stable
+// exposition output.
+func (h *HTTPStats) Snapshot() []EndpointSnapshot {
+	h.mu.Lock()
+	out := make([]EndpointSnapshot, 0, len(h.endpoints))
+	for route, ep := range h.endpoints {
+		st := make(map[int]uint64, len(ep.Status))
+		for k, v := range ep.Status {
+			st[k] = v
+		}
+		out = append(out, EndpointSnapshot{
+			Route: route, Count: ep.Count, SumUS: ep.SumUS, Hist: ep.Hist, Status: st,
+		})
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// respWriter captures the status code and byte count without disturbing
+// streaming: Flush passes through so SSE and progress handlers keep working
+// behind the middleware.
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *respWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *respWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *respWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Middleware wraps next with the service-edge request observer: it stamps or
+// propagates X-Request-ID (echoed on the response and available via
+// RequestID(ctx)), logs one "http_request" line per request, and feeds the
+// per-endpoint histograms. log and hs may be nil (each facet individually
+// disabled); the request ID is stamped regardless so error bodies stay
+// correlatable.
+func Middleware(log *slog.Logger, hs *HTTPStats, next http.Handler) http.Handler {
+	if log == nil {
+		log = Nop()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+
+		rw := &respWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rw, r)
+		dur := time.Since(start)
+
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := rw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if hs != nil {
+			hs.Observe(route, status, dur)
+		}
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		log.LogAttrs(r.Context(), level, "http_request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Int64("bytes", rw.bytes),
+			slog.Int64("dur_us", dur.Microseconds()),
+			slog.String("request_id", id),
+			slog.String("remote", r.RemoteAddr),
+		)
+	})
+}

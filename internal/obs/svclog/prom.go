@@ -1,0 +1,357 @@
+package svclog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pimdsm/internal/stats"
+)
+
+// Prometheus text exposition (version 0.0.4), hand-rolled: the service must
+// not grow a client_golang dependency for what is a dozen lines of framing.
+// A PromWriter emits families (# HELP / # TYPE once) and samples; the
+// Histogram helper renders a stats.LatHist as a cumulative prometheus
+// histogram whose bucket edges are the LatHist power-of-two upper bounds.
+
+// Label is one name="value" pair.
+type Label struct{ K, V string }
+
+// PromWriter writes Prometheus text format. Errors are sticky: check Err
+// (or the Flush return) once at the end.
+type PromWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w)}
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family declares a metric family; typ is "counter", "gauge" or "histogram".
+func (p *PromWriter) Family(name, typ, help string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample line for the given (already declared) family.
+func (p *PromWriter) Sample(name string, labels []Label, v float64) {
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatFloat(v))
+}
+
+// Histogram emits a family's cumulative _bucket/_sum/_count series from a
+// LatHist. Bucket edges are the LatHist upper bounds (2^i - 1); the overflow
+// bucket is folded into +Inf. sum is the exact value sum in the histogram's
+// unit (tracked beside the LatHist, which only holds counts).
+func (p *PromWriter) Histogram(name string, labels []Label, h *stats.LatHist, sum float64) {
+	var cum uint64
+	for i := 0; i < stats.NumLatBuckets-1; i++ {
+		cum += h[i]
+		le := Label{K: "le", V: strconv.FormatUint(uint64(1)<<uint(i)-1, 10)}
+		p.Sample(name+"_bucket", append(append([]Label(nil), labels...), le), float64(cum))
+	}
+	cum += h[stats.NumLatBuckets-1]
+	p.Sample(name+"_bucket", append(append([]Label(nil), labels...), Label{K: "le", V: "+Inf"}), float64(cum))
+	p.Sample(name+"_sum", labels, sum)
+	p.Sample(name+"_count", labels, float64(cum))
+}
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+// Flush flushes the buffered output and returns the first error.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.K)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.V))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePromText parses and validates Prometheus text exposition: every
+// sample line must parse, belong to a family whose # TYPE was declared
+// first, and histogram families must have cumulative, non-decreasing
+// buckets ending in le="+Inf" with _count equal to the +Inf bucket. This is
+// the soak harness's "parseable by a test, not by eye" check.
+func ParsePromText(text string) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", ln+1, typ)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			fams[name] = &PromFamily{Name: name, Type: typ}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		fam := fams[s.Name]
+		if fam == nil {
+			// histogram/summary series land under the base family name
+			base := s.Name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(s.Name, suf) {
+					base = strings.TrimSuffix(s.Name, suf)
+					break
+				}
+			}
+			fam = fams[base]
+			if fam == nil {
+				return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", ln+1, s.Name)
+			}
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return fams, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" || !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := labelSetEnd(rest)
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		for _, kv := range splitLabels(rest[1:end]) {
+			eq := strings.Index(kv, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("malformed label %q", kv)
+			}
+			k := kv[:eq]
+			v := strings.Trim(kv[eq+1:], `"`)
+			v = strings.ReplaceAll(v, `\"`, `"`)
+			v = strings.ReplaceAll(v, `\n`, "\n")
+			v = strings.ReplaceAll(v, `\\`, `\`)
+			s.Labels[k] = v
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil && fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// labelSetEnd returns the index of the `}` closing the label set that opens
+// at s[0], honoring quoted values — a `}` inside a quoted label value (route
+// patterns like "GET /api/v1/jobs/{id}") does not terminate the set. Returns
+// -1 when the set never closes.
+func labelSetEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitLabels splits a="1",b="2" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+// validateHistogram checks cumulative bucket monotonicity and the
+// _count == le="+Inf" identity per label set.
+func validateHistogram(fam *PromFamily) error {
+	type series struct {
+		buckets []PromSample
+		count   float64
+		hasCnt  bool
+	}
+	bySet := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			sb.WriteString(k + "=" + labels[k] + ";")
+		}
+		return sb.String()
+	}
+	for _, s := range fam.Samples {
+		key := keyOf(s.Labels)
+		sr := bySet[key]
+		if sr == nil {
+			sr = &series{}
+			bySet[key] = sr
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			sr.buckets = append(sr.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			sr.count = s.Value
+			sr.hasCnt = true
+		}
+	}
+	for key, sr := range bySet {
+		if len(sr.buckets) == 0 {
+			return fmt.Errorf("series %q has no buckets", key)
+		}
+		last := sr.buckets[len(sr.buckets)-1]
+		if last.Labels["le"] != "+Inf" {
+			return fmt.Errorf("series %q does not end at le=\"+Inf\"", key)
+		}
+		prev := -1.0
+		for _, b := range sr.buckets {
+			if b.Value < prev {
+				return fmt.Errorf("series %q buckets not cumulative (le=%q: %v < %v)",
+					key, b.Labels["le"], b.Value, prev)
+			}
+			prev = b.Value
+		}
+		if sr.hasCnt && sr.count != last.Value {
+			return fmt.Errorf("series %q _count %v != +Inf bucket %v", key, sr.count, last.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package svclog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"pimdsm/internal/stats"
+)
+
+func TestPromWriterRoundTrip(t *testing.T) {
+	hs := NewHTTPStats()
+	hs.Observe("GET /api/v1/jobs", 200, 150*time.Microsecond)
+	hs.Observe("GET /api/v1/jobs", 200, 3*time.Millisecond)
+	hs.Observe("POST /api/v1/jobs", 429, 90*time.Microsecond)
+	// Route patterns carry literal braces ("/jobs/{id}") inside quoted label
+	// values; the parser must not mistake that `}` for the label-set end.
+	hs.Observe("GET /api/v1/jobs/{id}", 200, 120*time.Microsecond)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("pimdsm_jobs_submitted_total", "counter", "Jobs admitted")
+	p.Sample("pimdsm_jobs_submitted_total", nil, 42)
+	p.Family("pimdsm_queue_depth", "gauge", "Jobs waiting to run")
+	p.Sample("pimdsm_queue_depth", nil, 3)
+	p.Family("pimdsm_http_request_duration_us", "histogram", "Request latency (pow2 buckets, microseconds)")
+	for _, ep := range hs.Snapshot() {
+		labels := []Label{{K: "route", V: ep.Route}}
+		p.Histogram("pimdsm_http_request_duration_us", labels, &ep.Hist, float64(ep.SumUS))
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams, err := ParsePromText(buf.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if fams["pimdsm_jobs_submitted_total"].Samples[0].Value != 42 {
+		t.Fatalf("counter value lost: %+v", fams["pimdsm_jobs_submitted_total"])
+	}
+	hist := fams["pimdsm_http_request_duration_us"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	// Three routes x (NumLatBuckets buckets + sum + count).
+	wantSamples := 3 * (stats.NumLatBuckets + 2)
+	if len(hist.Samples) != wantSamples {
+		t.Fatalf("histogram has %d samples, want %d", len(hist.Samples), wantSamples)
+	}
+}
+
+func TestParsePromTextRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_type_decl 1", // sample without TYPE
+		"# TYPE x counter\nx{le=\"unterminated 1", // broken label set
+		"# TYPE x counter\nx notanumber",          // bad value
+		"# TYPE x wat\nx 1",                       // unknown type
+	}
+	for _, text := range bad {
+		if _, err := ParsePromText(text); err == nil {
+			t.Fatalf("ParsePromText accepted %q", text)
+		}
+	}
+}
+
+func TestParsePromTextCatchesNonCumulativeHistogram(t *testing.T) {
+	text := strings.Join([]string{
+		`# TYPE h histogram`,
+		`h_bucket{le="1"} 5`,
+		`h_bucket{le="3"} 4`, // decreasing: invalid
+		`h_bucket{le="+Inf"} 6`,
+		`h_sum 10`,
+		`h_count 6`,
+	}, "\n")
+	if _, err := ParsePromText(text); err == nil {
+		t.Fatal("non-cumulative histogram accepted")
+	}
+	text = strings.Join([]string{
+		`# TYPE h histogram`,
+		`h_bucket{le="1"} 5`,
+		`h_bucket{le="+Inf"} 6`,
+		`h_sum 10`,
+		`h_count 7`, // count != +Inf bucket
+	}, "\n")
+	if _, err := ParsePromText(text); err == nil {
+		t.Fatal("count/+Inf mismatch accepted")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("m", "gauge", "help with \\ and\nnewline")
+	p.Sample("m", []Label{{K: "k", V: `quote " back \ nl` + "\n"}}, 1)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePromText(buf.String())
+	if err != nil {
+		t.Fatalf("escaped output does not parse: %v\n%s", err, buf.String())
+	}
+	if len(fams["m"].Samples) != 1 {
+		t.Fatalf("sample lost: %+v", fams["m"])
+	}
+}

@@ -1,0 +1,145 @@
+package svclog
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel(loud) should fail")
+	}
+}
+
+func TestDeterministicModeDropsTime(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, true)
+	log.Info("hello", "k", 1)
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if _, has := m["time"]; has {
+		t.Fatalf("deterministic line still carries a timestamp: %q", buf.String())
+	}
+	buf.Reset()
+	New(&buf, slog.LevelInfo, false).Info("hello")
+	if !strings.Contains(buf.String(), `"time"`) {
+		t.Fatalf("non-deterministic line lost its timestamp: %q", buf.String())
+	}
+}
+
+// TestRequestLogGoldenKeySet is the log-schema drift gate: one request
+// logged through the middleware in deterministic mode must parse as JSON
+// whose key set is exactly testdata/http_log_keys.golden.
+func TestRequestLogGoldenKeySet(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("x"))
+	})
+	h := Middleware(log, NewHTTPStats(), mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/jobs/j-000001", nil))
+
+	line := strings.TrimSpace(buf.String())
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("request log line is not JSON: %v (%q)", err, line)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	got := strings.Join(keys, "\n") + "\n"
+
+	want, err := os.ReadFile("testdata/http_log_keys.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("http_request log schema drifted.\ngot keys:\n%swant keys:\n%s"+
+			"(update testdata/http_log_keys.golden only for a deliberate contract change)",
+			got, want)
+	}
+	if m["route"] != "GET /api/v1/jobs/{id}" {
+		t.Fatalf("route label = %v, want the mux pattern", m["route"])
+	}
+}
+
+func TestMiddlewareRequestID(t *testing.T) {
+	var seen string
+	h := Middleware(Nop(), nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = RequestID(r.Context())
+	}))
+
+	// Generated when absent, echoed on the response.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/x", nil))
+	if seen == "" || rec.Header().Get(RequestIDHeader) != seen {
+		t.Fatalf("generated id %q not echoed (%q)", seen, rec.Header().Get(RequestIDHeader))
+	}
+
+	// Propagated when present.
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(RequestIDHeader, "client-supplied-7")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "client-supplied-7" || rec.Header().Get(RequestIDHeader) != "client-supplied-7" {
+		t.Fatalf("inbound id not propagated: ctx %q, header %q", seen, rec.Header().Get(RequestIDHeader))
+	}
+}
+
+func TestHTTPStatsObserve(t *testing.T) {
+	hs := NewHTTPStats()
+	for i := 0; i < 10; i++ {
+		hs.Observe("GET /a", 200, 100*time.Microsecond)
+	}
+	hs.Observe("GET /a", 500, 50*time.Millisecond)
+	hs.Observe("POST /b", 202, time.Millisecond)
+
+	snap := hs.Snapshot()
+	if len(snap) != 2 || snap[0].Route != "GET /a" || snap[1].Route != "POST /b" {
+		t.Fatalf("snapshot routes: %+v", snap)
+	}
+	a := snap[0]
+	if a.Count != 11 || a.Status[200] != 10 || a.Status[500] != 1 {
+		t.Fatalf("GET /a counters: %+v", a)
+	}
+	if a.SumUS != 10*100+50000 {
+		t.Fatalf("GET /a sum_us = %d", a.SumUS)
+	}
+	if a.Hist.Total() != 11 {
+		t.Fatalf("GET /a hist total = %d", a.Hist.Total())
+	}
+	// With half the samples slow, the p99 upper bound must land in the
+	// slow bucket (LatHist.Percentile floors the rank, so a single outlier
+	// in a small sample would not).
+	for i := 0; i < 11; i++ {
+		hs.Observe("GET /a", 200, 50*time.Millisecond)
+	}
+	a = hs.Snapshot()[0]
+	if p99 := a.P99US(); p99 < 50000 {
+		t.Fatalf("p99 upper bound %d below the 50ms mass", p99)
+	}
+}

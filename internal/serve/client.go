@@ -1,14 +1,20 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
+
+	"pimdsm/internal/obs/svclog"
 )
 
 // Client talks to an aggsimd daemon over its JSON/HTTP API.
@@ -93,6 +99,34 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	return st, json.Unmarshal(body, &st)
 }
 
+// SubmitRetry posts a job, honoring admission-control pushback: on a 429
+// the client sleeps the server's Retry-After hint (capped at maxSleep when
+// maxSleep > 0) and resubmits, up to maxRetries retries. Any other error is
+// returned immediately. The returned count is how many 429s were absorbed.
+func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, maxRetries int, maxSleep time.Duration) (JobStatus, int, error) {
+	retries := 0
+	for {
+		st, err := c.Submit(spec)
+		var be *BusyError
+		if err == nil || !errors.As(err, &be) {
+			return st, retries, err
+		}
+		if retries >= maxRetries {
+			return st, retries, err
+		}
+		retries++
+		sleep := be.RetryAfter
+		if maxSleep > 0 && sleep > maxSleep {
+			sleep = maxSleep
+		}
+		select {
+		case <-ctx.Done():
+			return st, retries, ctx.Err()
+		case <-time.After(sleep):
+		}
+	}
+}
+
 // Status fetches one job's status.
 func (c *Client) Status(id string) (JobStatus, error) {
 	var st JobStatus
@@ -173,6 +207,98 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 		case <-time.After(poll):
 		}
 	}
+}
+
+// JobEvents fetches the complete lifecycle event chain for one job.
+func (c *Client) JobEvents(id string) ([]svclog.JobEvent, error) {
+	var out struct {
+		Events []svclog.JobEvent `json:"events"`
+	}
+	err := c.get("/api/v1/jobs/"+id+"/events", &out)
+	return out.Events, err
+}
+
+// StreamEvents subscribes to the daemon's SSE event stream and invokes fn
+// for every lifecycle event received. lastID resumes after a previously seen
+// sequence number (0 means from now on); job filters to one job when
+// non-empty. It returns the last sequence number delivered, so a caller can
+// reconnect with it after a dropped connection. The stream ends when ctx is
+// canceled or the server closes the connection.
+func (c *Client) StreamEvents(ctx context.Context, lastID uint64, job string, fn func(svclog.JobEvent)) (uint64, error) {
+	q := url.Values{}
+	if job != "" {
+		q.Set("job", job)
+	}
+	u := c.url("/api/v1/events")
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	if err != nil {
+		return lastID, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return lastID, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(resp.Body)
+		return lastID, apiError(resp, body)
+	}
+
+	// Minimal SSE frame parser: frames are separated by blank lines; we
+	// care about "id:" and "data:" fields and ignore comment keepalives.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data strings.Builder
+	var frameID string
+	flush := func() error {
+		defer func() { data.Reset(); frameID = "" }()
+		if data.Len() == 0 {
+			return nil
+		}
+		var ev svclog.JobEvent
+		if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+			return fmt.Errorf("serve: bad SSE event payload: %w", err)
+		}
+		if id, err := strconv.ParseUint(frameID, 10, 64); err == nil {
+			lastID = id
+		} else if ev.Seq > 0 {
+			lastID = ev.Seq
+		}
+		fn(ev)
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return lastID, err
+			}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "id:"):
+			frameID = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimSpace(line[len("data:"):]))
+		}
+	}
+	if err := flush(); err != nil {
+		return lastID, err
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return lastID, err
+	}
+	return lastID, ctx.Err()
 }
 
 // StreamProgress copies the job's plain-text progress stream to w until the

@@ -3,35 +3,65 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"pimdsm/internal/obs"
+	"pimdsm/internal/obs/svclog"
 )
 
 // API is the service's JSON/HTTP surface over a Server, optionally mounted
 // alongside an obs.Dashboard (which keeps its routes: /, /spans, /metrics,
-// /profile, /debug/vars, /debug/pprof/).
+// /profile, /debug/vars, /debug/pprof/). Every route passes through the
+// svclog middleware: requests are stamped with X-Request-ID, logged as
+// structured JSON, and fed into per-endpoint latency histograms.
 //
 // Routes:
 //
-//	POST /api/v1/jobs              submit a JobSpec  (202, or 429 + Retry-After)
-//	GET  /api/v1/jobs              list jobs
-//	GET  /api/v1/jobs/{id}         job status
-//	GET  /api/v1/jobs/{id}/result  results (canonical JSON, input order)
-//	GET  /api/v1/jobs/{id}/metrics job metrics registry JSON
-//	GET  /api/v1/jobs/{id}/spans   job span recorder (PDS1 binary)
+//	POST /api/v1/jobs               submit a JobSpec  (202, or 429 + Retry-After)
+//	GET  /api/v1/jobs               list jobs
+//	GET  /api/v1/jobs/{id}          job status
+//	GET  /api/v1/jobs/{id}/result   results (canonical JSON, input order)
+//	GET  /api/v1/jobs/{id}/metrics  job metrics registry JSON
+//	GET  /api/v1/jobs/{id}/spans    job span recorder (PDS1 binary)
 //	GET  /api/v1/jobs/{id}/progress plain-text progress stream until done
-//	GET  /api/v1/stats             server + cache counters
-//	GET  /healthz                  liveness
+//	GET  /api/v1/jobs/{id}/events   lifecycle event chain (?format=chrome)
+//	GET  /api/v1/events             SSE stream of all lifecycle events
+//	                                (Last-Event-ID resume, ?job= filter)
+//	GET  /api/v1/stats              server + cache + event counters
+//	GET  /metrics.prom              Prometheus text exposition
+//	GET  /healthz                   pure liveness (always 200 while serving)
+//	GET  /readyz                    readiness: 503 while draining/saturated
 type API struct {
 	srv  *Server
 	dash *obs.Dashboard
+	log  *slog.Logger
+	hs   *svclog.HTTPStats
+
+	// sseKeepalive is the comment-frame interval on the SSE stream
+	// (keeps idle proxies from reaping the connection; test seam).
+	sseKeepalive time.Duration
 }
 
-// NewAPI wraps a server; dash may be nil.
-func NewAPI(srv *Server, dash *obs.Dashboard) *API { return &API{srv: srv, dash: dash} }
+// NewAPI wraps a server; dash may be nil. The API logs through the server's
+// logger (Options.Log) so one flag configures the whole edge.
+func NewAPI(srv *Server, dash *obs.Dashboard) *API {
+	return &API{
+		srv:          srv,
+		dash:         dash,
+		log:          srv.Log(),
+		hs:           svclog.NewHTTPStats(),
+		sseKeepalive: 15 * time.Second,
+	}
+}
+
+// HTTPStats exposes the per-endpoint request histograms (fed by the
+// middleware, drained by /metrics.prom and tests).
+func (a *API) HTTPStats() *svclog.HTTPStats { return a.hs }
 
 // resultEnvelope is the GET .../result payload. Results holds each run's
 // canonical JSON verbatim, so the bytes a client extracts are exactly the
@@ -41,26 +71,36 @@ type resultEnvelope struct {
 	Results []json.RawMessage `json:"results"`
 }
 
-// errorBody is every non-2xx JSON payload.
+// errorBody is every non-2xx JSON payload. RequestID echoes the request's
+// X-Request-ID so a client-reported error correlates with exactly one
+// "http_request" log line.
 type errorBody struct {
 	Error         string `json:"error"`
+	RequestID     string `json:"request_id,omitempty"`
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON encodes v; an encode/write failure (client gone, marshal bug)
+// is logged instead of silently dropped.
+func (a *API) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		a.log.Error("response_encode_failed",
+			"request_id", svclog.RequestID(r.Context()),
+			"route", r.Pattern, "status", code, "err", err.Error())
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func (a *API) writeError(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	a.writeJSON(w, r, code, errorBody{Error: msg, RequestID: svclog.RequestID(r.Context())})
 }
 
-// Handler returns the API mux; dashboard routes (when a dashboard was
-// given) serve everything outside /api/v1 and /healthz.
+// Handler returns the API handler: the route mux wrapped in the request
+// middleware; dashboard routes (when a dashboard was given) serve everything
+// outside the API and health/metrics paths.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", a.submit)
@@ -70,15 +110,19 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", a.metrics)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", a.spans)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", a.progress)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", a.jobEvents)
+	mux.HandleFunc("GET /api/v1/events", a.eventsSSE)
 	mux.HandleFunc("GET /api/v1/stats", a.stats)
+	mux.HandleFunc("GET /metrics.prom", a.metricsProm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", a.readyz)
 	if a.dash != nil {
 		mux.Handle("/", a.dash.Handler())
 	}
-	return mux
+	return svclog.Middleware(a.log, a.hs, mux)
 }
 
 // ListenAndServe binds addr (":0" for an ephemeral port) and serves the API
@@ -99,7 +143,7 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		a.writeError(w, r, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
 	st, err := a.srv.Submit(spec)
@@ -110,25 +154,46 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 			if sec < 1 {
 				sec = 1
 			}
-			w.Header().Set("Retry-After", fmt.Sprint(sec))
-			writeJSON(w, http.StatusTooManyRequests,
-				errorBody{Error: err.Error(), RetryAfterSec: sec})
+			// Header and body must agree: clients honor either.
+			w.Header().Set("Retry-After", strconv.Itoa(sec))
+			a.writeJSON(w, r, http.StatusTooManyRequests, errorBody{
+				Error:         err.Error(),
+				RequestID:     svclog.RequestID(r.Context()),
+				RetryAfterSec: sec,
+			})
 		default:
 			if err == ErrDraining {
-				writeError(w, http.StatusServiceUnavailable, err.Error())
+				a.writeError(w, r, http.StatusServiceUnavailable, err.Error())
 				return
 			}
-			writeError(w, http.StatusBadRequest, err.Error())
+			a.writeError(w, r, http.StatusBadRequest, err.Error())
 		}
 		return
 	}
-	writeJSON(w, http.StatusAccepted, st)
+	a.writeJSON(w, r, http.StatusAccepted, st)
 }
 
 func (a *API) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	a.writeJSON(w, r, http.StatusOK, struct {
 		Jobs []JobStatus `json:"jobs"`
 	}{Jobs: a.srv.Jobs()})
+}
+
+// readyz is the readiness probe: 200 while the server accepts submissions,
+// 503 with a JSON reason while draining or the admission window is
+// saturated. Liveness stays on /healthz, which never flips.
+func (a *API) readyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Ready     bool   `json:"ready"`
+		Reason    string `json:"reason,omitempty"`
+		RequestID string `json:"request_id,omitempty"`
+	}
+	ok, reason := a.srv.Ready()
+	code := http.StatusOK
+	if !ok {
+		code = http.StatusServiceUnavailable
+	}
+	a.writeJSON(w, r, code, readiness{Ready: ok, Reason: reason, RequestID: svclog.RequestID(r.Context())})
 }
 
 // jobFor resolves {id} or writes a 404.
@@ -136,14 +201,14 @@ func (a *API) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := a.srv.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job "+id)
+		a.writeError(w, r, http.StatusNotFound, "no such job "+id)
 	}
 	return j, ok
 }
 
 func (a *API) status(w http.ResponseWriter, r *http.Request) {
 	if j, ok := a.jobFor(w, r); ok {
-		writeJSON(w, http.StatusOK, a.srv.Status(j))
+		a.writeJSON(w, r, http.StatusOK, a.srv.Status(j))
 	}
 }
 
@@ -157,10 +222,10 @@ func (a *API) result(w http.ResponseWriter, r *http.Request) {
 	if !done {
 		code := http.StatusConflict
 		if st.State == JobFailed || st.State == JobAborted {
-			writeJSON(w, code, errorBody{Error: fmt.Sprintf("job %s %s: %s", st.ID, st.State, st.Error)})
+			a.writeError(w, r, code, fmt.Sprintf("job %s %s: %s", st.ID, st.State, st.Error))
 			return
 		}
-		writeJSON(w, code, errorBody{Error: fmt.Sprintf("job %s is %s (%d/%d)", st.ID, st.State, st.Done, st.Total)})
+		a.writeError(w, r, code, fmt.Sprintf("job %s is %s (%d/%d)", st.ID, st.State, st.Done, st.Total))
 		return
 	}
 	env := resultEnvelope{Job: st, Results: make([]json.RawMessage, len(js))}
@@ -172,7 +237,11 @@ func (a *API) result(w http.ResponseWriter, r *http.Request) {
 	// canonical bytes verbatim.
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	json.NewEncoder(w).Encode(env)
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		a.log.Error("response_encode_failed",
+			"request_id", svclog.RequestID(r.Context()),
+			"route", r.Pattern, "status", http.StatusOK, "err", err.Error())
+	}
 }
 
 func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
@@ -182,7 +251,7 @@ func (a *API) metrics(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := a.srv.Metrics(j)
 	if reg == nil {
-		writeError(w, http.StatusNotFound, "job has no metrics artifact (submit with \"metrics\": true and wait for it to finish)")
+		a.writeError(w, r, http.StatusNotFound, "job has no metrics artifact (submit with \"metrics\": true and wait for it to finish)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -196,16 +265,164 @@ func (a *API) spans(w http.ResponseWriter, r *http.Request) {
 	}
 	sp := a.srv.Spans(j)
 	if sp == nil {
-		writeError(w, http.StatusNotFound, "job has no spans artifact (submit with \"spans\": true and wait for it to finish)")
+		a.writeError(w, r, http.StatusNotFound, "job has no spans artifact (submit with \"spans\": true and wait for it to finish)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	sp.WriteBinary(w)
 }
 
+// jobEvents serves one job's complete lifecycle event chain, as JSON by
+// default or as Chrome trace_event JSON with ?format=chrome (loadable in
+// chrome://tracing / Perfetto next to the simulator's protocol traces).
+func (a *API) jobEvents(w http.ResponseWriter, r *http.Request) {
+	el := a.srv.Events()
+	if el == nil {
+		a.writeError(w, r, http.StatusNotFound, "lifecycle event log disabled on this server")
+		return
+	}
+	j, ok := a.jobFor(w, r)
+	if !ok {
+		return
+	}
+	events := el.Job(j.id)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		a.writeJSON(w, r, http.StatusOK, struct {
+			Job    string            `json:"job"`
+			Events []svclog.JobEvent `json:"events"`
+		}{Job: j.id, Events: events})
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := svclog.WriteChromeJSON(w, events); err != nil {
+			a.log.Error("response_encode_failed",
+				"request_id", svclog.RequestID(r.Context()),
+				"route", r.Pattern, "status", http.StatusOK, "err", err.Error())
+		}
+	default:
+		a.writeError(w, r, http.StatusBadRequest, "unknown format (want json or chrome)")
+	}
+}
+
+// eventsSSE streams lifecycle events as Server-Sent Events: `id:` carries
+// the global sequence number, so a reconnecting client sends Last-Event-ID
+// and the ring replays everything it missed. ?job= filters to one job's
+// events (the filter applies after sequencing — ids stay global, resume
+// still works). This is the dashboard's scale path: one connection per
+// watcher regardless of job count, where the plain-text long-poll held one
+// connection per job.
+func (a *API) eventsSSE(w http.ResponseWriter, r *http.Request) {
+	el := a.srv.Events()
+	if el == nil {
+		a.writeError(w, r, http.StatusNotFound, "lifecycle event log disabled on this server")
+		return
+	}
+	var last uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		last, _ = strconv.ParseUint(v, 10, 64)
+	} else if v := r.URL.Query().Get("last_event_id"); v != "" {
+		last, _ = strconv.ParseUint(v, 10, 64)
+	}
+	jobFilter := r.URL.Query().Get("job")
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, canFlush := w.(http.Flusher)
+	flush := func() {
+		if canFlush {
+			fl.Flush()
+		}
+	}
+
+	emit := func(ev svclog.JobEvent) bool {
+		if jobFilter != "" && ev.Job != jobFilter {
+			last = ev.Seq // filtered events still advance the cursor
+			return true
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, data); err != nil {
+			return false
+		}
+		last = ev.Seq
+		return true
+	}
+
+	// Subscribe before replaying so no event falls between replay and live;
+	// duplicates are suppressed by the Seq cursor.
+	ch, cancel := el.Subscribe(256)
+	defer cancel()
+	replay, _ := el.Since(last)
+	for _, ev := range replay {
+		if ev.Seq > last && !emit(ev) {
+			return
+		}
+	}
+	flush()
+
+	keepalive := a.sseKeepalive
+	if keepalive <= 0 {
+		keepalive = 15 * time.Second
+	}
+	tick := time.NewTicker(keepalive)
+	defer tick.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return
+			}
+			if ev.Seq <= last {
+				continue
+			}
+			if ev.Seq > last+1 {
+				// The subscriber buffer dropped events; resync from the ring.
+				missed, _ := el.Since(last)
+				for _, m := range missed {
+					if m.Seq > last && m.Seq < ev.Seq && !emit(m) {
+						return
+					}
+				}
+			}
+			if !emit(ev) {
+				return
+			}
+			// Drain whatever is already buffered before flushing once.
+			for drained := false; !drained; {
+				select {
+				case more, open := <-ch:
+					if !open {
+						flush()
+						return
+					}
+					if more.Seq > last && !emit(more) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flush()
+		case <-tick.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // progress streams one "done/total state" line per change (plus a keepalive
 // snapshot every second) until the job reaches a terminal state — the HTTP
 // face of the Sweep.Progress/OnResult hooks that feed the job counters.
+// Superseded by /api/v1/events (SSE) for watching many jobs at scale, kept
+// for single-job CLI use.
 func (a *API) progress(w http.ResponseWriter, r *http.Request) {
 	j, ok := a.jobFor(w, r)
 	if !ok {
@@ -247,5 +464,80 @@ func (a *API) progress(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, a.srv.Stats())
+	a.writeJSON(w, r, http.StatusOK, a.srv.Stats())
+}
+
+// metricsProm is the Prometheus text-format exposition: server, cache,
+// queue and event-log counters plus the per-endpoint HTTP histograms. All
+// hand-rolled (no client_golang); the soak harness parses and validates the
+// output with svclog.ParsePromText.
+func (a *API) metricsProm(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := svclog.NewPromWriter(w)
+
+	counter := func(name, help string, v uint64) {
+		p.Family(name, "counter", help)
+		p.Sample(name, nil, float64(v))
+	}
+	gauge := func(name, help string, v float64) {
+		p.Family(name, "gauge", help)
+		p.Sample(name, nil, v)
+	}
+
+	counter("aggsimd_jobs_submitted_total", "Jobs admitted past the admission window.", st.JobsSubmitted)
+	counter("aggsimd_jobs_rejected_total", "Submissions rejected (window full or draining).", st.JobsRejected)
+	counter("aggsimd_jobs_done_total", "Jobs finished successfully.", st.JobsDone)
+	counter("aggsimd_jobs_failed_total", "Jobs finished with an error.", st.JobsFailed)
+	counter("aggsimd_jobs_aborted_total", "Queued jobs aborted by shutdown.", st.JobsAborted)
+	counter("aggsimd_simulated_runs_total", "Real simulations executed (cache hits and joins excluded).", st.SimulatedRuns)
+	counter("aggsimd_simulated_cycles_total", "Engine cycles across all real simulations.", st.SimulatedCycles)
+
+	gauge("aggsimd_queue_depth", "Jobs waiting to run.", float64(st.Queued))
+	gauge("aggsimd_queue_limit", "Admission window size.", float64(st.QueueLimit))
+	gauge("aggsimd_jobs_running", "Jobs currently simulating.", float64(st.Running))
+	gauge("aggsimd_workers", "Worker pool size.", float64(st.Workers))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	gauge("aggsimd_draining", "1 while the server is shutting down.", draining)
+
+	gauge("aggsimd_cache_entries", "Result cache entries resident.", float64(st.Cache.Entries))
+	gauge("aggsimd_cache_limit", "Result cache LRU bound.", float64(st.Cache.Limit))
+	gauge("aggsimd_cache_inflight", "Simulations currently in flight (singleflight).", float64(st.Cache.InFlight))
+	counter("aggsimd_cache_hits_total", "Result cache hits.", st.Cache.Hits)
+	counter("aggsimd_cache_misses_total", "Result cache misses.", st.Cache.Misses)
+	counter("aggsimd_cache_joins_total", "Singleflight joins on in-flight simulations.", st.Cache.Joins)
+	counter("aggsimd_cache_evictions_total", "Result cache LRU evictions.", st.Cache.Evictions)
+
+	counter("aggsimd_events_appended_total", "Lifecycle events recorded.", st.Events.Appended)
+	counter("aggsimd_events_dropped_total", "Lifecycle events dropped on slow subscribers.", st.Events.Dropped)
+	gauge("aggsimd_event_subscribers", "Live SSE/event subscribers.", float64(st.Events.Subscribers))
+
+	snap := a.hs.Snapshot()
+	p.Family("aggsimd_http_requests_total", "counter", "HTTP requests by route and status code.")
+	for _, ep := range snap {
+		codes := make([]int, 0, len(ep.Status))
+		for code := range ep.Status {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			p.Sample("aggsimd_http_requests_total",
+				[]svclog.Label{{K: "route", V: ep.Route}, {K: "code", V: strconv.Itoa(code)}},
+				float64(ep.Status[code]))
+		}
+	}
+	p.Family("aggsimd_http_request_duration_us", "histogram", "Request latency in microseconds (power-of-two buckets).")
+	for _, ep := range snap {
+		h := ep.Hist
+		p.Histogram("aggsimd_http_request_duration_us",
+			[]svclog.Label{{K: "route", V: ep.Route}}, &h, float64(ep.SumUS))
+	}
+	if err := p.Flush(); err != nil {
+		a.log.Error("response_encode_failed",
+			"request_id", svclog.RequestID(r.Context()),
+			"route", r.Pattern, "status", http.StatusOK, "err", err.Error())
+	}
 }

@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"pimdsm/internal/obs/svclog"
 )
 
 // startAPI boots a server on an ephemeral port and returns a client for it.
@@ -192,5 +196,317 @@ func TestHTTPHealthzAndProgress(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "1/1 done") {
 		t.Fatalf("progress stream never reported completion: %q", buf.String())
+	}
+}
+
+// TestHTTP429HeaderBodyAgree: a rejected submission's Retry-After header and
+// retry_after_sec body field must carry the same value — clients reading
+// either get the same hint — and the body carries the request id.
+func TestHTTP429HeaderBodyAgree(t *testing.T) {
+	fr := &fakeRunner{gate: make(chan struct{})}
+	s, c := startAPI(t, Options{Workers: 1, QueueLimit: 1, Run: fr.run})
+	defer close(fr.gate)
+	if _, err := c.Submit(spec1("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	if _, err := c.Submit(spec1("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post("http://"+c.Base+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"configs":[{"arch":"agg","app":"c","threads":8}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	header, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || header < 1 {
+		t.Fatalf("Retry-After header %q not a positive integer", resp.Header.Get("Retry-After"))
+	}
+	var eb struct {
+		Error         string `json:"error"`
+		RequestID     string `json:"request_id"`
+		RetryAfterSec int    `json:"retry_after_sec"`
+	}
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatalf("429 body is not JSON: %v: %s", err, body)
+	}
+	if eb.RetryAfterSec != header {
+		t.Fatalf("header Retry-After %d != body retry_after_sec %d", header, eb.RetryAfterSec)
+	}
+	if eb.RequestID == "" || resp.Header.Get("X-Request-ID") != eb.RequestID {
+		t.Fatalf("request id not threaded through: header %q body %q",
+			resp.Header.Get("X-Request-ID"), eb.RequestID)
+	}
+	if eb.Error == "" {
+		t.Fatalf("429 body has no error message: %s", body)
+	}
+}
+
+// TestHTTPReadyz: /healthz is pure liveness (always 200 while serving);
+// /readyz degrades to 503 with a JSON reason when the admission window is
+// saturated or the server is draining.
+func TestHTTPReadyz(t *testing.T) {
+	fr := &fakeRunner{gate: make(chan struct{})}
+	s, c := startAPI(t, Options{Workers: 1, QueueLimit: 1, Run: fr.run})
+
+	getReady := func() (int, string) {
+		resp, err := http.Get("http://" + c.Base + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var rb struct {
+			Ready  bool   `json:"ready"`
+			Reason string `json:"reason"`
+		}
+		if err := json.Unmarshal(body, &rb); err != nil {
+			t.Fatalf("readyz body not JSON: %v: %s", err, body)
+		}
+		return resp.StatusCode, rb.Reason
+	}
+
+	if code, reason := getReady(); code != http.StatusOK || reason != "" {
+		t.Fatalf("idle readyz: %d %q, want 200", code, reason)
+	}
+
+	// Saturate: one running (gated), one queued = full window.
+	if _, err := c.Submit(spec1("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	if _, err := c.Submit(spec1("b")); err != nil {
+		t.Fatal(err)
+	}
+	if code, reason := getReady(); code != http.StatusServiceUnavailable || reason == "" {
+		t.Fatalf("saturated readyz: %d %q, want 503 with a reason", code, reason)
+	}
+	// Liveness is unaffected by saturation.
+	resp, err := http.Get("http://" + c.Base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while saturated: %d", resp.StatusCode)
+	}
+
+	// Draining: readyz stays 503 even after the queue clears.
+	close(fr.gate)
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(context.Background()) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, reason := getReady()
+		if code == http.StatusServiceUnavailable && reason == "draining" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("readyz never reported draining: %d %q", code, reason)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPSSEReplayAfterReconnect: an SSE consumer that disconnects and
+// reconnects with Last-Event-ID receives exactly the events it missed — the
+// sequence stays dense across the reconnect.
+func TestHTTPSSEReplayAfterReconnect(t *testing.T) {
+	fr := &fakeRunner{}
+	_, c := startAPI(t, Options{
+		Workers: 1, Run: fr.run,
+		Events: svclog.NewEventLog(256),
+	})
+
+	// First connection: watch job A to completion, then drop the stream.
+	a, err := c.Submit(spec1("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []svclog.JobEvent
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	last, err := c.StreamEvents(ctx, 0, "", func(ev svclog.JobEvent) {
+		first = append(first, ev)
+		if ev.Job == a.ID && ev.Kind == svclog.EvDone {
+			cancel()
+		}
+	})
+	cancel()
+	if err != nil && err != context.Canceled {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || last == 0 {
+		t.Fatalf("first connection saw %d events, cursor %d", len(first), last)
+	}
+	if err := ValidateEventChain(jobChain(first, a.ID), 1); err != nil {
+		t.Fatalf("job A chain over SSE: %v", err)
+	}
+
+	// While disconnected, job B runs to completion.
+	b, err := c.Submit(spec1("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxW, cancelW := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelW()
+	if st, err := c.Wait(ctxW, b.ID, 5*time.Millisecond); err != nil || st.State != JobDone {
+		t.Fatalf("job B: %+v, %v", st, err)
+	}
+
+	// Reconnect with the cursor: the daemon replays everything missed.
+	var second []svclog.JobEvent
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	_, err = c.StreamEvents(ctx2, last, "", func(ev svclog.JobEvent) {
+		second = append(second, ev)
+		if ev.Job == b.ID && ev.Kind == svclog.EvDone {
+			cancel2()
+		}
+	})
+	cancel2()
+	if err != nil && err != context.Canceled {
+		t.Fatal(err)
+	}
+	if len(second) == 0 {
+		t.Fatal("reconnect replayed nothing")
+	}
+	if second[0].Seq != last+1 {
+		t.Fatalf("reconnect replay starts at seq %d, want %d", second[0].Seq, last+1)
+	}
+	for i := 1; i < len(second); i++ {
+		if second[i].Seq != second[i-1].Seq+1 {
+			t.Fatalf("sequence gap across reconnect: %d -> %d", second[i-1].Seq, second[i].Seq)
+		}
+	}
+	if err := ValidateEventChain(jobChain(second, b.ID), 1); err != nil {
+		t.Fatalf("job B chain from replay: %v", err)
+	}
+}
+
+// TestHTTPSubmitRetryHonorsPushback: SubmitRetry (the `pimdsm submit -wait`
+// path) absorbs 429s by sleeping the server's hint and resubmitting, and
+// gets in once the window clears.
+func TestHTTPSubmitRetryHonorsPushback(t *testing.T) {
+	fr := &fakeRunner{gate: make(chan struct{})}
+	s, c := startAPI(t, Options{Workers: 1, QueueLimit: 1, Run: fr.run})
+	if _, err := c.Submit(spec1("a")); err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, s, 1)
+	if _, err := c.Submit(spec1("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Window is full: a plain submit must be rejected right now.
+	if _, err := c.Submit(spec1("c")); err == nil {
+		t.Fatal("over-window submit accepted")
+	}
+	// Free the worker shortly; the retrying submit should then get in.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(fr.gate)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, retries, err := c.SubmitRetry(ctx, spec1("c"), 100, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("retrying submit never admitted: %v (after %d retries)", err, retries)
+	}
+	if retries == 0 {
+		t.Fatal("retrying submit saw no pushback despite a full window")
+	}
+	if fin, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil || fin.State != JobDone {
+		t.Fatalf("retried job: %+v, %v", fin, err)
+	}
+}
+
+func jobChain(events []svclog.JobEvent, id string) []svclog.JobEvent {
+	var out []svclog.JobEvent
+	for _, ev := range events {
+		if ev.Job == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestHTTPJobEventsEndpoint: the per-job endpoint serves the complete chain
+// as JSON and as a Chrome trace_event document.
+func TestHTTPJobEventsEndpoint(t *testing.T) {
+	fr := &fakeRunner{}
+	_, c := startAPI(t, Options{Workers: 1, Run: fr.run, Events: svclog.NewEventLog(64)})
+	st, err := c.Submit(spec1("fft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.JobEvents(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateEventChain(events, 1); err != nil {
+		t.Fatalf("chain: %v\n%+v", err, events)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/v1/jobs/%s/events?format=chrome", c.Base, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome export: %v, %d events: %.120s", err, len(doc.TraceEvents), body)
+	}
+}
+
+// TestHTTPMetricsPromParses: the exposition endpoint output passes the
+// strict parser, including after traffic on routes with {id} patterns.
+func TestHTTPMetricsPromParses(t *testing.T) {
+	fr := &fakeRunner{}
+	_, c := startAPI(t, Options{Workers: 1, Run: fr.run, Events: svclog.NewEventLog(64)})
+	st, err := c.Submit(spec1("fft"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := c.Wait(ctx, st.ID, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	body, err := c.raw("/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := svclog.ParsePromText(string(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"aggsimd_jobs_submitted_total",
+		"aggsimd_simulated_runs_total",
+		"aggsimd_queue_depth",
+		"aggsimd_http_requests_total",
+		"aggsimd_http_request_duration_us",
+	} {
+		if fams[want] == nil {
+			t.Fatalf("family %s missing from exposition", want)
+		}
+	}
+	if fams["aggsimd_jobs_submitted_total"].Samples[0].Value < 1 {
+		t.Fatalf("submitted counter did not move: %+v", fams["aggsimd_jobs_submitted_total"])
 	}
 }

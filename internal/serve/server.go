@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"pimdsm/internal/machine"
 	"pimdsm/internal/obs"
+	"pimdsm/internal/obs/svclog"
 )
 
 // RunBatchFunc executes a batch of configurations and returns the results in
@@ -34,6 +36,14 @@ type Options struct {
 	// Run executes one batch; nil means a serial loop over machine.Run.
 	// pimdsm.NewServer always wires the Sweep pool here.
 	Run RunBatchFunc
+	// Log receives the service's structured log lines (nil = discard).
+	// Logging is record-only: results are byte-identical with it on or off.
+	Log *slog.Logger
+	// Events, when non-nil, records every job's lifecycle (submitted,
+	// queued, started, per-config cache_hit/joined/simulated/persisted,
+	// done/failed/aborted) with wall-time and queue-depth attribution. The
+	// same log feeds GET /api/v1/jobs/{id}/events and the SSE stream.
+	Events *svclog.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -45,6 +55,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 512
+	}
+	if o.Log == nil {
+		o.Log = svclog.Nop()
 	}
 	if o.Run == nil {
 		o.Run = func(cfgs []machine.Config, onResult func(int, *machine.Result)) ([]*machine.Result, error) {
@@ -211,6 +224,46 @@ func New(opt Options) (*Server, error) {
 // Cache exposes the result cache (read-mostly: tests and stats).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// Events exposes the lifecycle event log (nil when disabled).
+func (s *Server) Events() *svclog.EventLog { return s.opt.Events }
+
+// Log exposes the service logger (never nil after New).
+func (s *Server) Log() *slog.Logger { return s.opt.Log }
+
+// Ready reports whether the server can accept a submission right now: not
+// draining, and the admission window has room. The reason names what is
+// wrong ("draining" or "admission window saturated") for the /readyz body.
+func (s *Server) Ready() (bool, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false, "draining"
+	}
+	if len(s.queue) >= s.opt.QueueLimit {
+		return false, "admission window saturated"
+	}
+	return true, ""
+}
+
+// eventLocked appends one lifecycle event for j; s.mu must be held (the
+// queue depth and running count attributions are read under it). config is
+// -1 for job-level events.
+func (s *Server) eventLocked(j *Job, kind svclog.JobEventKind, config int, cycles uint64, detail string) {
+	if s.opt.Events == nil {
+		return
+	}
+	now := time.Now()
+	s.opt.Events.Append(svclog.JobEvent{
+		Job: j.id, Kind: kind, At: now,
+		SinceSubmitUS: now.Sub(j.submitted).Microseconds(),
+		QueueDepth:    len(s.queue),
+		Running:       s.running,
+		Config:        config,
+		Cycles:        cycles,
+		Detail:        detail,
+	})
+}
+
 // Submit admits spec or rejects it. Rejections are immediate and typed:
 // *BusyError when the admission window is full, ErrDraining during
 // shutdown, a validation error for an empty or malformed spec.
@@ -227,11 +280,15 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected++
+		s.opt.Log.Warn("job_rejected", "reason", "draining", "name", spec.Name)
 		return JobStatus{}, ErrDraining
 	}
 	if len(s.queue) >= s.opt.QueueLimit {
 		s.rejected++
-		return JobStatus{}, &BusyError{RetryAfter: s.retryAfterLocked()}
+		retry := s.retryAfterLocked()
+		s.opt.Log.Warn("job_rejected", "reason", "admission window full",
+			"name", spec.Name, "queue_depth", len(s.queue), "retry_after_sec", int(retry/time.Second))
+		return JobStatus{}, &BusyError{RetryAfter: retry}
 	}
 	s.seq++
 	j := &Job{
@@ -250,8 +307,12 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.eventLocked(j, svclog.EvSubmitted, -1, 0, spec.Name)
 	s.queue.push(j)
 	s.submitted++
+	s.eventLocked(j, svclog.EvQueued, -1, 0, "")
+	s.opt.Log.Info("job_submitted", "job", j.id, "name", spec.Name,
+		"configs", len(spec.Configs), "priority", spec.Priority, "queue_depth", len(s.queue))
 	s.cond.Signal()
 	return s.statusLocked(j), nil
 }
@@ -381,6 +442,8 @@ type ServerStats struct {
 	SimulatedCycles uint64 `json:"simulated_cycles"`
 
 	Cache CacheStats `json:"cache"`
+	// Events is the lifecycle event log's traffic (zero when disabled).
+	Events svclog.EventLogStats `json:"events"`
 }
 
 // Stats snapshots the service counters.
@@ -402,6 +465,9 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
+	if s.opt.Events != nil {
+		st.Events = s.opt.Events.Stats()
+	}
 	return st
 }
 
@@ -421,6 +487,7 @@ func (s *Server) worker() {
 		j.state = JobRunning
 		j.started = time.Now()
 		s.running++
+		s.eventLocked(j, svclog.EvStarted, -1, 0, "")
 		s.mu.Unlock()
 		s.runJob(j)
 	}
@@ -454,6 +521,7 @@ func (s *Server) runJob(j *Job) {
 			s.mu.Lock()
 			j.done++
 			j.cacheHits++
+			s.eventLocked(j, svclog.EvCacheHit, i, 0, "")
 			s.mu.Unlock()
 		case owner:
 			toRun = append(toRun, i)
@@ -480,6 +548,7 @@ func (s *Server) runJob(j *Job) {
 		s.mu.Lock()
 		j.done++
 		j.joins++
+		s.eventLocked(j, svclog.EvJoined, w.i, 0, "")
 		s.mu.Unlock()
 	}
 
@@ -496,11 +565,18 @@ func (s *Server) runJob(j *Job) {
 		j.state = JobFailed
 		j.err = jobErr
 		s.jobsFailed++
+		s.eventLocked(j, svclog.EvFailed, -1, 0, jobErr.Error())
+		s.opt.Log.Error("job_failed", "job", j.id, "name", j.spec.Name,
+			"err", jobErr.Error(), "wall_us", j.finished.Sub(j.submitted).Microseconds())
 	} else {
 		j.state = JobDone
 		j.results = results
 		j.resultJSON = resJSON
 		s.jobsDone++
+		s.eventLocked(j, svclog.EvDone, -1, 0, "")
+		s.opt.Log.Info("job_done", "job", j.id, "name", j.spec.Name,
+			"cache_hits", j.cacheHits, "simulated", j.simulated, "joins", j.joins,
+			"wall_us", j.finished.Sub(j.submitted).Microseconds())
 	}
 	// EWMA of job wall time feeds the retry-after estimate.
 	sec := j.finished.Sub(j.started).Seconds()
@@ -552,6 +628,8 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 			j.simulated++
 			s.simulatedRuns++
 			s.simulatedCycles += uint64(r.Breakdown.Exec)
+			s.eventLocked(j, svclog.EvSimulated, i, uint64(r.Breakdown.Exec), "")
+			s.eventLocked(j, svclog.EvPersisted, i, 0, "")
 			s.mu.Unlock()
 		}
 		_, err := s.opt.Run(cfgs, onResult)
@@ -582,12 +660,14 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	s.opt.Log.Info("server_draining", "queued", len(s.queue), "running", s.running)
 	for len(s.queue) > 0 {
 		j := s.queue.pop()
 		j.state = JobAborted
 		j.err = ErrDraining
 		j.finished = time.Now()
 		s.jobsAborted++
+		s.eventLocked(j, svclog.EvAborted, -1, 0, ErrDraining.Error())
 		close(j.doneCh)
 	}
 	s.cond.Broadcast()

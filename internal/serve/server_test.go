@@ -1,14 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"pimdsm/internal/machine"
+	"pimdsm/internal/obs/svclog"
 	"pimdsm/internal/sim"
 )
 
@@ -60,8 +64,18 @@ func waitJob(t *testing.T, s *Server, id string) JobStatus {
 }
 
 func TestServerRunsAndCaches(t *testing.T) {
+	// The full observability layer is enabled here on purpose: logging and
+	// lifecycle tracing are record-only, so the byte-identity assertions
+	// below double as the proof that observing a job never changes what the
+	// job returns.
 	fr := &fakeRunner{}
-	s, err := New(Options{Workers: 2, Run: fr.run})
+	var logBuf bytes.Buffer
+	events := svclog.NewEventLog(64)
+	s, err := New(Options{
+		Workers: 2, Run: fr.run,
+		Log:    svclog.New(&logBuf, slog.LevelDebug, true),
+		Events: events,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +108,36 @@ func TestServerRunsAndCaches(t *testing.T) {
 	_, js2, _ := s.Results(j2)
 	if string(js1[0]) != string(js2[0]) {
 		t.Fatal("cache hit served different bytes than the original run")
+	}
+
+	// Both jobs left complete, ordered lifecycle chains: the first one
+	// simulated its config, the resubmission resolved it as a cache hit.
+	if err := ValidateEventChain(events.Job(st.ID), 1); err != nil {
+		t.Fatalf("first job chain: %v\n%+v", err, events.Job(st.ID))
+	}
+	if err := ValidateEventChain(events.Job(st2.ID), 1); err != nil {
+		t.Fatalf("resubmission chain: %v\n%+v", err, events.Job(st2.ID))
+	}
+	var hit bool
+	for _, ev := range events.Job(st2.ID) {
+		if ev.Kind == svclog.EvCacheHit {
+			hit = true
+		}
+		if ev.Kind == svclog.EvSimulated {
+			t.Fatalf("resubmission chain claims a simulation: %+v", ev)
+		}
+	}
+	if !hit {
+		t.Fatal("resubmission chain has no cache_hit event")
+	}
+	// And the structured log recorded both jobs without leaking raw
+	// timestamps (deterministic mode).
+	logs := logBuf.String()
+	if strings.Count(logs, `"msg":"job_done"`) != 2 {
+		t.Fatalf("want 2 job_done log lines:\n%s", logs)
+	}
+	if strings.Contains(logs, `"time"`) {
+		t.Fatalf("deterministic log mode leaked timestamps:\n%s", logs)
 	}
 }
 

@@ -2,8 +2,10 @@ package pimdsm
 
 import (
 	"io"
+	"log/slog"
 
 	"pimdsm/internal/obs"
+	"pimdsm/internal/obs/svclog"
 	"pimdsm/internal/serve"
 )
 
@@ -37,6 +39,18 @@ type (
 	BusyError = serve.BusyError
 	// JobState is a job's lifecycle state.
 	JobState = serve.JobState
+	// JobEvent is one typed entry in a job's lifecycle event chain.
+	JobEvent = svclog.JobEvent
+	// JobEventKind names a lifecycle transition (submitted, started, ...).
+	JobEventKind = svclog.JobEventKind
+	// EventLog is the bounded in-memory lifecycle event log with live
+	// subscriptions; hand one to ServerOptions.Events to enable tracing.
+	EventLog = svclog.EventLog
+	// SoakOptions configures a service load/soak run.
+	SoakOptions = serve.SoakOptions
+	// SoakReport is the outcome of a soak run: latency percentiles, admission
+	// pushback counts and lifecycle-validation results.
+	SoakReport = serve.SoakReport
 )
 
 // Job lifecycle states.
@@ -47,6 +61,30 @@ const (
 	JobFailed  JobState = serve.JobFailed
 	JobAborted JobState = serve.JobAborted
 )
+
+// NewEventLog returns a lifecycle event log retaining the last cap events
+// globally (complete chains are kept per job); cap <= 0 picks the default.
+func NewEventLog(cap int) *EventLog { return svclog.NewEventLog(cap) }
+
+// NewServiceLogger builds the service's structured JSON logger. level is
+// "debug", "info", "warn" or "error" (empty means info); deterministic drops
+// wall-clock timestamps so log lines are byte-stable under test. An invalid
+// level falls back to info.
+func NewServiceLogger(w io.Writer, level string, deterministic bool) *slog.Logger {
+	lv, err := svclog.ParseLevel(level)
+	if err != nil {
+		lv = slog.LevelInfo
+	}
+	return svclog.New(w, lv, deterministic)
+}
+
+// RunSoak storms a daemon with opt.Clients concurrent clients submitting
+// opt.JobsPerClient jobs each, then audits the daemon's answers: latency
+// SLOs, bounded admission pushback, exactly-once simulation and complete
+// ordered lifecycle event chains. See internal/serve.RunSoak.
+func RunSoak(addr string, opt SoakOptions) (*SoakReport, error) {
+	return serve.RunSoak(addr, opt)
+}
 
 // NewServer starts a simulation service whose workers drain jobs through
 // this package's Sweep pool, so the pool's determinism guarantee — a
