@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke telemetry-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -82,8 +82,25 @@ serve-smoke:
 soak-smoke:
 	$(GO) test -race -count 1 -run 'TestSoakSmoke' -v ./cmd/aggsimd
 
+# telemetry-smoke is the flight-recorder end-to-end gate, run under the race
+# detector: every job head-sampled into the recorder, results byte-identical
+# to a direct run (record-only proof), all three artifacts served over HTTP,
+# the perf diff naming a dominant phase between two architectures, and the
+# artifact store surviving a daemon restart.
+telemetry-smoke:
+	$(GO) test -race -count 1 -run 'TestTelemetrySmoke' -v ./cmd/aggsimd
+
 # bench-json snapshots simulator wall-clock throughput into a dated JSON
 # file; committing snapshots over time tracks the perf trajectory.
 bench-json:
 	$(GO) run ./cmd/benchjson > BENCH_$$(date +%Y%m%d).json
 	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+
+# bench-diff renders the committed BENCH trajectory over the two newest
+# snapshots. Advisory about perf by design (host throughput is machine-
+# dependent) — only a missing or malformed snapshot fails the target.
+bench-diff:
+	@set -- $$(ls BENCH_*.json | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two committed BENCH_*.json snapshots"; exit 1; fi; \
+	echo "bench-diff: $$1 -> $$2"; \
+	$(GO) run ./cmd/pimdsm diff -bench $$1 $$2

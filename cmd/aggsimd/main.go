@@ -9,6 +9,7 @@
 //
 //	aggsimd [-addr localhost:8977] [-workers 2] [-sweep-workers 0]
 //	        [-queue 16] [-cache-entries 512] [-cache-file aggsimd.cache]
+//	        [-telemetry-sample 0] [-artifact-dir DIR] [-artifact-bytes 64MiB]
 //	        [-drain-timeout 30s] [-log stderr|off|PATH] [-log-level info]
 //
 // -workers bounds concurrently running jobs; -sweep-workers bounds the
@@ -21,6 +22,16 @@
 // with a Retry-After hint instead of queueing without bound. -cache-file
 // persists the result-cache index across restarts (written atomically on
 // graceful shutdown, verified and reloaded on start).
+//
+// The flight recorder: jobs submitted with "telemetry": true — or every Nth
+// job when -telemetry-sample N is set — record deep telemetry (metrics,
+// spans, per-config cycle-attribution profiles) and persist the merged
+// record as content-addressed profile/folded/decompose artifacts, served
+// under GET /api/v1/jobs/{id}/profile|folded|decompose and diffed by
+// `pimdsm diff`. With -artifact-dir the records live in a bounded on-disk
+// store (-artifact-bytes, LRU eviction) whose index survives restarts like
+// the result cache's. Recording is record-only: results stay byte-identical
+// with it on or off.
 //
 // The daemon serves the obs dashboard routes (/, /debug/vars,
 // /debug/pprof/) next to the API; /healthz reports liveness and /readyz
@@ -108,6 +119,9 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	queue := fs.Int("queue", 16, "admission window: max jobs waiting to run")
 	cacheEntries := fs.Int("cache-entries", 512, "result cache LRU bound")
 	cacheFile := fs.String("cache-file", "", "persist the cache index to this file across restarts")
+	telemetrySample := fs.Int("telemetry-sample", 0, "head-sample every Nth job into the flight recorder (0 = off)")
+	artifactDir := fs.String("artifact-dir", "", "persist flight-recorder artifacts in this directory (bounded, survives restarts)")
+	artifactBytes := fs.Int64("artifact-bytes", 64<<20, "artifact store byte bound (LRU eviction past it)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown")
 	logDest := fs.String("log", "stderr", "structured JSON log destination: stderr, off, or a file path")
 	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn, error")
@@ -137,12 +151,15 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	}
 
 	srv, err := pimdsm.NewServer(pimdsm.ServerOptions{
-		Workers:      *workers,
-		QueueLimit:   *queue,
-		CacheEntries: *cacheEntries,
-		CachePath:    *cacheFile,
-		Log:          svcLog,
-		Events:       pimdsm.NewEventLog(0),
+		Workers:         *workers,
+		QueueLimit:      *queue,
+		CacheEntries:    *cacheEntries,
+		CachePath:       *cacheFile,
+		TelemetrySample: *telemetrySample,
+		ArtifactDir:     *artifactDir,
+		ArtifactBytes:   *artifactBytes,
+		Log:             svcLog,
+		Events:          pimdsm.NewEventLog(0),
 	}, sw)
 	if err != nil {
 		fmt.Fprintln(stderr, "aggsimd:", err)
@@ -151,6 +168,10 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	if *cacheFile != "" {
 		fmt.Fprintf(stderr, "aggsimd: cache index %s: %d entries restored\n",
 			*cacheFile, srv.Cache().Len())
+	}
+	if store := srv.ArtifactStore(); store != nil {
+		fmt.Fprintf(stderr, "aggsimd: artifact store %s: %d artifacts restored\n",
+			store.Dir(), store.Stats().Count)
 	}
 
 	dash := pimdsm.NewDashboard()
@@ -179,6 +200,7 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 				st.Cache.Entries, st.Cache.Limit, st.Cache.Hits, st.Cache.Misses,
 				st.Cache.Joins, st.Cache.Evictions,
 				st.SimulatedRuns, st.SimulatedCycles))
+			dash.Publish("artifacts", srv.ArtifactsStatus())
 			select {
 			case <-statsDone:
 				return

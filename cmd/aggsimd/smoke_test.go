@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -307,4 +308,125 @@ func TestSmokeMetricsArtifact(t *testing.T) {
 	if !bytes.Equal(mb, mb2) {
 		t.Fatal("metrics folded from a cached result differ from the simulated run's")
 	}
+}
+
+// TestTelemetrySmoke is the `make telemetry-smoke` body: the flight recorder
+// end to end through a real daemon. Every job is head-sampled into the
+// recorder (-telemetry-sample 1), results stay byte-identical to a direct
+// run with the recorder on, all three artifacts serve over HTTP, the
+// perf-diff engine names a dominant phase between two architectures, and a
+// daemon restart with the same artifact dir still serves the original flight
+// record for a resubmission that is a pure cache hit.
+func TestTelemetrySmoke(t *testing.T) {
+	tmp := t.TempDir()
+	cacheFile := filepath.Join(tmp, "aggsimd.cache")
+	artDir := filepath.Join(tmp, "artifacts")
+	flags := []string{
+		"-addr", "127.0.0.1:0", "-workers", "1",
+		"-telemetry-sample", "1",
+		"-cache-file", cacheFile, "-artifact-dir", artDir,
+	}
+	d := startDaemon(t, flags...)
+	c := pimdsm.NewServiceClient(d.addr)
+
+	// Two runs of the same workload on different architectures: the pair the
+	// perf diff should tell apart by protocol-phase composition.
+	cfgA := pimdsm.ConfigSpec{Arch: "agg", App: "fft", Scale: 0.02, Threads: 4, Pressure: 0.75, DRatio: 1}
+	cfgB := pimdsm.ConfigSpec{Arch: "numa", App: "fft", Scale: 0.02, Threads: 4, Pressure: 0.75}
+	submitOne := func(name string, cfg pimdsm.ConfigSpec) pimdsm.JobStatus {
+		st, err := c.Submit(pimdsm.JobSpec{Name: name, Configs: []pimdsm.ConfigSpec{cfg}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin := wait(t, c, st.ID)
+		if fin.State != pimdsm.JobDone || !fin.Telemetry {
+			t.Fatalf("%s: %+v, want done with head-sampled telemetry", name, fin)
+		}
+		return fin
+	}
+	a := submitOne("flight-a", cfgA)
+	b := submitOne("flight-b", cfgB)
+
+	// Record-only, end to end: the daemon's served bytes with the recorder on
+	// are identical to a direct in-process run without any observers.
+	direct, err := pimdsm.Sweep{Workers: 1}.RunMany([]pimdsm.Config{cfgA.Config()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRaw, err := json.Marshal(direct[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rawA, err := c.Result(a.ID)
+	if err != nil || len(rawA) != 1 {
+		t.Fatalf("result: %d raws, %v", len(rawA), err)
+	}
+	if !bytes.Equal(rawA[0], wantRaw) {
+		t.Fatalf("flight recorder changed the result bytes:\n%s\nvs direct\n%s", rawA[0], wantRaw)
+	}
+
+	// All three artifacts serve, and the diff names a dominant phase.
+	fetchDump := func(st pimdsm.JobStatus) pimdsm.RunDump {
+		dump := pimdsm.RunDump{Label: st.ID}
+		pb, err := c.Profile(st.ID)
+		if err != nil {
+			t.Fatalf("%s profile: %v", st.ID, err)
+		}
+		dump.Profile = &pimdsm.ProfileSnapshot{}
+		if err := json.Unmarshal(pb, dump.Profile); err != nil {
+			t.Fatalf("%s profile artifact: %v", st.ID, err)
+		}
+		if dump.Profile.ExecCycles == 0 {
+			t.Fatalf("%s profile attributed no cycles", st.ID)
+		}
+		if fb, err := c.Folded(st.ID); err != nil || len(fb) == 0 {
+			t.Fatalf("%s folded: %d bytes, %v", st.ID, len(fb), err)
+		}
+		db, err := c.Decompose(st.ID)
+		if err != nil {
+			t.Fatalf("%s decompose: %v", st.ID, err)
+		}
+		dump.Spans = &pimdsm.SpanBreakdown{}
+		if err := json.Unmarshal(db, dump.Spans); err != nil {
+			t.Fatalf("%s decompose artifact: %v", st.ID, err)
+		}
+		if dump.Spans.Retired == 0 {
+			t.Fatalf("%s decompose retired no transactions", st.ID)
+		}
+		return dump
+	}
+	rep := pimdsm.CompareRuns(fetchDump(a), fetchDump(b), pimdsm.CompareOptions{})
+	if rep.DominantPhase == "" || !strings.Contains(rep.Verdict, "dominant") {
+		t.Fatalf("diff of agg vs numa named no dominant phase: %+v", rep)
+	}
+
+	// Restart with the same stores: the resubmission is a pure cache hit —
+	// which records nothing — yet the restored artifact store still serves
+	// the original flight record, byte for byte.
+	profA, err := c.Profile(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.shutdown(t)
+	d2 := startDaemon(t, flags...)
+	c2 := pimdsm.NewServiceClient(d2.addr)
+	st2, err := c2.Submit(pimdsm.JobSpec{Name: "flight-a-again", Configs: []pimdsm.ConfigSpec{cfgA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin := wait(t, c2, st2.ID); fin.CacheHits != 1 || fin.Simulated != 0 || !fin.Telemetry {
+		t.Fatalf("post-restart resubmission: %+v, want a pure telemetry cache hit", fin)
+	}
+	profA2, err := c2.Profile(st2.ID)
+	if err != nil {
+		t.Fatalf("restarted daemon lost the flight record: %v", err)
+	}
+	if !bytes.Equal(profA, profA2) {
+		t.Fatal("restarted daemon served a different flight record than the original run's")
+	}
+	stats, err := c2.Stats()
+	if err != nil || stats.Artifacts.Count == 0 || stats.Artifacts.Hits == 0 {
+		t.Fatalf("artifact store counters after restart: %+v, %v", stats.Artifacts, err)
+	}
+	d2.shutdown(t)
 }

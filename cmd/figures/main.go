@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b|decompose|bottleneck|meshscale]
+//	figures [-exp all|table1|table2|table3|fig6|fig7|fig8|fig9|fig10a|fig10b|decompose|bottleneck|meshscale|timeline]
 //	        [-scale f] [-threads n] [-apps fft,radix,...] [-quick] [-shards n]
 //	        [-parallel n] [-progress] [-http addr]
 //	        [-trace f.json] [-trace-buf n]
@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -42,7 +44,7 @@ func main() {
 }
 
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment to regenerate (all, table1-3, fig6-10b, decompose, bottleneck, meshscale)")
+	exp := flag.String("exp", "all", "experiment to regenerate (all, table1-3, fig6-10b, decompose, bottleneck, meshscale, timeline)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	threads := flag.Int("threads", 32, "application threads")
 	apps := flag.String("apps", "", "comma-separated app subset")
@@ -218,6 +220,35 @@ func realMain() int {
 		}
 		fmt.Print(pimdsm.FormatBottleneck(rows))
 		fmt.Printf("[bottleneck regenerated in %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	// Opt-in only (-exp timeline): parses every committed BENCH_*.json in the
+	// working directory into the per-(arch,app) throughput trajectory, with
+	// regressions beyond 10% flagged. Advisory: the report prints either way;
+	// only a missing or malformed snapshot fails the run.
+	if code == 0 && *exp == "timeline" {
+		paths, _ := filepath.Glob("BENCH_*.json")
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "timeline: no BENCH_*.json snapshots in the working directory")
+			return 1
+		}
+		var docs []*pimdsm.BenchDoc
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "timeline:", err)
+				return 1
+			}
+			doc, err := pimdsm.ParseBenchDoc(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "timeline: %s: %v\n", p, err)
+				return 1
+			}
+			docs = append(docs, doc)
+		}
+		rep := pimdsm.BenchTimeline(docs, 0.10)
+		rep.WriteText(os.Stdout)
 	}
 
 	if code == 0 {

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"pimdsm/internal/obs"
+	"pimdsm/internal/obs/svclog"
 	"pimdsm/internal/stats"
 )
 
@@ -32,7 +33,7 @@ func analyzeCmd(args []string) int {
 		path = fs.Arg(0)
 	}
 	if path == "" {
-		fmt.Fprintln(os.Stderr, "pimdsm analyze: need a metrics.json or spans.pds1 file")
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: need a metrics.json, spans.pds1 or metrics.prom file")
 		usage()
 		return 2
 	}
@@ -41,14 +42,126 @@ func analyzeCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
+	trimmed := bytes.TrimSpace(data)
 	switch {
 	case bytes.HasPrefix(data, []byte("PDS1")):
 		return analyzeSpans(data)
-	case len(bytes.TrimSpace(data)) > 0 && bytes.TrimSpace(data)[0] == '{':
+	case len(trimmed) > 0 && trimmed[0] == '{':
 		return analyzeMetrics(data)
+	case strings.HasSuffix(path, ".prom") || bytes.HasPrefix(trimmed, []byte("#")):
+		return analyzeProm(data)
 	default:
-		fmt.Fprintf(os.Stderr, "pimdsm analyze: %s is neither a PDS1 span file nor a metrics JSON dump\n", path)
+		fmt.Fprintf(os.Stderr, "pimdsm analyze: %s is not a PDS1 span file, a metrics JSON dump, or a Prometheus text exposition\n", path)
 		return 1
+	}
+}
+
+// analyzeProm validates and summarizes a Prometheus text exposition (as
+// scraped from the daemon's /metrics.prom) through the same strict parser
+// the soak harness uses: a malformed file is an error, not a shrug.
+func analyzeProm(data []byte) int {
+	fams, err := svclog.ParsePromText(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: bad Prometheus exposition:", err)
+		return 1
+	}
+	if len(fams) == 0 {
+		fmt.Fprintln(os.Stderr, "pimdsm analyze: exposition has no metric families")
+		return 1
+	}
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%d metric families\n\n", len(fams))
+	for _, name := range names {
+		fam := fams[name]
+		if fam.Type == "histogram" {
+			// Histograms summarize: total count, sum, and the smallest
+			// bucket bound covering ~p99 per label set.
+			fmt.Printf("%-44s %s\n", fam.Name, fam.Type)
+			writePromHistogram(fam)
+			continue
+		}
+		fmt.Printf("%-44s %s\n", fam.Name, fam.Type)
+		for _, s := range fam.Samples {
+			fmt.Printf("  %-42s %14g\n", promLabelString(s.Labels), s.Value)
+		}
+	}
+	return 0
+}
+
+// promLabelString renders a sample's labels compactly ("-" when none).
+func promLabelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// writePromHistogram prints count/sum plus a p99 upper-bound estimate from
+// the cumulative le buckets, grouped by the non-le label set.
+func writePromHistogram(fam *svclog.PromFamily) {
+	type series struct {
+		count, sum float64
+		buckets    []svclog.PromSample // _bucket samples in input (ascending) order
+	}
+	groups := map[string]*series{}
+	var order []string
+	get := func(labels map[string]string) *series {
+		stripped := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				stripped[k] = v
+			}
+		}
+		key := promLabelString(stripped)
+		g, ok := groups[key]
+		if !ok {
+			g = &series{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		g := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.sum = s.Value
+		case strings.HasSuffix(s.Name, "_bucket"):
+			g.buckets = append(g.buckets, s)
+		}
+	}
+	for _, key := range order {
+		g := groups[key]
+		p99 := "n/a"
+		if g.count > 0 {
+			target := 0.99 * g.count
+			for _, b := range g.buckets {
+				if b.Value >= target {
+					p99 = "<=" + b.Labels["le"]
+					break
+				}
+			}
+		}
+		avg := 0.0
+		if g.count > 0 {
+			avg = g.sum / g.count
+		}
+		fmt.Printf("  %-42s count %10g  avg %12.1f  p99 %s\n", key, g.count, avg, p99)
 	}
 }
 

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pimdsm"
+	"pimdsm/internal/obs"
+)
+
+// diffCmd is the perf-diff front end:
+//
+//	pimdsm diff [-addr host:port] [-json] <jobA> <jobB>
+//	pimdsm diff -bench [-threshold 0.10] [-json] <BENCH_a.json> <BENCH_b.json>
+//
+// The first form fetches two telemetry jobs' flight-recorder artifacts from
+// the daemon and prints obs.Compare's report naming the dominant regressed
+// phase. The second parses two committed BENCH snapshots and prints
+// obs.Timeline's per-(arch,app) throughput trajectory with regression
+// flagging — advisory by design: only a parse error or malformed snapshot
+// fails the command.
+func diffCmd(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	bench := fs.Bool("bench", false, "diff two BENCH_*.json snapshots instead of two jobs")
+	threshold := fs.Float64("threshold", 0.10, "with -bench: relative cycles/sec drop flagged as a regression")
+	asJSON := fs.Bool("json", false, "print the typed report as JSON instead of text")
+	// Accept the two operands anywhere among the flags, like result/events.
+	var operands []string
+	for len(args) > 0 {
+		if err := fs.Parse(args); err != nil {
+			return 2
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		operands = append(operands, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+	if len(operands) != 2 {
+		fmt.Fprintln(os.Stderr, "pimdsm diff: need exactly two jobs (or two BENCH files with -bench)")
+		return 2
+	}
+	if *bench {
+		return diffBench(operands[0], operands[1], *threshold, *asJSON)
+	}
+	return diffJobs(*addr, operands[0], operands[1], *asJSON)
+}
+
+// fetchRunDump pulls one job's flight-recorder artifacts into an
+// obs.RunDump. Partial records are tolerated — a section both sides lack is
+// skipped by Compare — but a job with no artifacts at all is an error.
+func fetchRunDump(c *pimdsm.ServiceClient, id string) (obs.RunDump, error) {
+	dump := obs.RunDump{Label: id}
+	got := 0
+	if b, err := c.Decompose(id); err == nil {
+		var sb obs.SpanBreakdown
+		if err := json.Unmarshal(b, &sb); err != nil {
+			return dump, fmt.Errorf("job %s: bad decompose artifact: %w", id, err)
+		}
+		dump.Spans = &sb
+		got++
+	}
+	if b, err := c.Profile(id); err == nil {
+		var ps obs.ProfileSnapshot
+		if err := json.Unmarshal(b, &ps); err != nil {
+			return dump, fmt.Errorf("job %s: bad profile artifact: %w", id, err)
+		}
+		dump.Profile = &ps
+		got++
+	}
+	if b, err := c.Metrics(id); err == nil {
+		m, err := obs.ParseMetricsJSON(b)
+		if err != nil {
+			return dump, fmt.Errorf("job %s: bad metrics artifact: %w", id, err)
+		}
+		dump.Metrics = m
+		got++
+	}
+	if got == 0 {
+		return dump, fmt.Errorf("job %s has no flight-recorder artifacts (submit with \"telemetry\": true)", id)
+	}
+	return dump, nil
+}
+
+func diffJobs(addr, idA, idB string, asJSON bool) int {
+	c := pimdsm.NewServiceClient(addr)
+	a, err := fetchRunDump(c, idA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm diff:", err)
+		return 1
+	}
+	b, err := fetchRunDump(c, idB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pimdsm diff:", err)
+		return 1
+	}
+	rep := obs.Compare(a, b, obs.CompareOptions{})
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm diff:", err)
+			return 1
+		}
+		return 0
+	}
+	rep.WriteText(os.Stdout)
+	return 0
+}
+
+func diffBench(pathA, pathB string, threshold float64, asJSON bool) int {
+	var docs []*obs.BenchDoc
+	for _, p := range []string{pathA, pathB} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm diff:", err)
+			return 1
+		}
+		doc, err := obs.ParseBenchDoc(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimdsm diff: %s: %v\n", p, err)
+			return 1
+		}
+		docs = append(docs, doc)
+	}
+	rep := obs.Timeline(docs, threshold)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm diff:", err)
+			return 1
+		}
+		return 0
+	}
+	rep.WriteText(os.Stdout)
+	return 0
+}

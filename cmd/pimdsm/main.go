@@ -4,7 +4,7 @@
 //	pimdsm trace dump f.bin [-kind read] [-node 3] [-limit 100]
 //	pimdsm trace convert f.bin f.json
 //	pimdsm spans dump f.bin [-limit 100]
-//	pimdsm analyze metrics.json|spans.pds1
+//	pimdsm analyze metrics.json|spans.pds1|metrics.prom
 //
 // and its service group is the client of the aggsimd daemon:
 //
@@ -14,6 +14,14 @@
 //	pimdsm jobs   [-addr host:port]
 //	pimdsm watch  [-addr host:port] [-job id]
 //	pimdsm events [-addr host:port] <job-id> [-json]
+//	pimdsm diff   [-addr host:port] <jobA> <jobB>
+//	pimdsm diff   -bench BENCH_a.json BENCH_b.json
+//
+// `diff` is the perf-diff engine's front end: it fetches two telemetry jobs'
+// flight-recorder artifacts (profile, folded, decompose — recorded when a
+// job is submitted with "telemetry": true or head-sampled by the daemon's
+// -telemetry-sample) and names the dominant regressed phase; with -bench it
+// diffs two committed BENCH snapshots into a throughput trajectory instead.
 //
 // `watch` tails the daemon's live job-lifecycle event stream (SSE) and
 // reconnects with Last-Event-ID after a dropped connection, so no events are
@@ -26,9 +34,11 @@
 // trace as Chrome trace_event JSON (loadable in chrome://tracing or
 // https://ui.perfetto.dev). `spans dump` prints the per-phase miss-latency
 // breakdown and the retained transaction spans of a PDS1 file recorded by
-// `aggsim -spans-out`. `analyze` sniffs either artifact and prints a
+// `aggsim -spans-out`. `analyze` sniffs the artifact format and prints a
 // bottleneck report: phase breakdown plus critical-path verdict for span
-// files, per-class latencies and histogram percentiles for metrics dumps.
+// files, per-class latencies and histogram percentiles for metrics dumps,
+// and a family table for Prometheus text expositions (.prom, as scraped
+// from the daemon's /metrics.prom).
 package main
 
 import (
@@ -67,6 +77,8 @@ func realMain(args []string) int {
 		return watchCmd(args[1:])
 	case "events":
 		return eventsCmd(args[1:])
+	case "diff":
+		return diffCmd(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "pimdsm: unknown command %q\n", args[0])
 		usage()
@@ -85,6 +97,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       pimdsm jobs   [-addr host:port]")
 	fmt.Fprintln(os.Stderr, "       pimdsm watch  [-addr host:port] [-job id]")
 	fmt.Fprintln(os.Stderr, "       pimdsm events [-addr host:port] <job-id> [-json]")
+	fmt.Fprintln(os.Stderr, "       pimdsm diff   [-addr host:port] [-json] <jobA> <jobB>")
+	fmt.Fprintln(os.Stderr, "       pimdsm diff   -bench [-threshold 0.10] <BENCH_a.json> <BENCH_b.json>")
 }
 
 func traceCmd(args []string) int {

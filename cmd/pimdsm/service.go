@@ -23,6 +23,7 @@ func submitCmd(args []string) int {
 	seed := fs.Uint64("seed", 0, "cache-key seed (reserved; 0 is fine)")
 	metrics := fs.Bool("metrics", false, "attach a per-job metrics artifact")
 	spans := fs.Bool("spans", false, "attach a per-job span artifact (runs serial)")
+	telemetry := fs.Bool("telemetry", false, "flight recorder: record profile/folded/decompose artifacts (implies -metrics -spans)")
 	wait := fs.Bool("wait", false, "poll until the job finishes and print the final status")
 	busyRetries := fs.Int("busy-retries", 10, "with -wait: resubmissions absorbed on 429 pushback (honoring Retry-After)")
 	progress := fs.Bool("progress", false, "stream job progress to stderr (implies -wait)")
@@ -39,11 +40,12 @@ func submitCmd(args []string) int {
 	}
 
 	spec := pimdsm.JobSpec{
-		Name:     *name,
-		Priority: *priority,
-		Seed:     *seed,
-		Metrics:  *metrics,
-		Spans:    *spans,
+		Name:      *name,
+		Priority:  *priority,
+		Seed:      *seed,
+		Metrics:   *metrics,
+		Spans:     *spans,
+		Telemetry: *telemetry,
 	}
 	if *fig6 {
 		spec.Configs = pimdsm.Figure6Specs(*app, *threads, *scale)

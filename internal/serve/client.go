@@ -163,6 +163,23 @@ func (c *Client) Spans(id string) ([]byte, error) {
 	return c.raw("/api/v1/jobs/" + id + "/spans")
 }
 
+// Profile fetches a telemetry job's merged profile snapshot
+// (obs.ProfileSnapshot JSON).
+func (c *Client) Profile(id string) ([]byte, error) {
+	return c.raw("/api/v1/jobs/" + id + "/profile")
+}
+
+// Folded fetches a telemetry job's folded flamegraph stacks.
+func (c *Client) Folded(id string) ([]byte, error) {
+	return c.raw("/api/v1/jobs/" + id + "/folded")
+}
+
+// Decompose fetches a telemetry job's span decomposition
+// (obs.SpanBreakdown JSON).
+func (c *Client) Decompose(id string) ([]byte, error) {
+	return c.raw("/api/v1/jobs/" + id + "/decompose")
+}
+
 func (c *Client) raw(path string) ([]byte, error) {
 	resp, err := c.httpClient().Get(c.url(path))
 	if err != nil {

@@ -109,6 +109,9 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", a.result)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", a.metrics)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", a.spans)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/profile", a.artifact(ArtifactProfile, "application/json"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/folded", a.artifact(ArtifactFolded, "text/plain; charset=utf-8"))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/decompose", a.artifact(ArtifactDecompose, "application/json"))
 	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", a.progress)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", a.jobEvents)
 	mux.HandleFunc("GET /api/v1/events", a.eventsSSE)
@@ -270,6 +273,34 @@ func (a *API) spans(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	sp.WriteBinary(w)
+}
+
+// artifact serves one flight-recorder artifact. The 404 bodies are the
+// same actionable shape as the metrics/spans ones: they say exactly how to
+// get the artifact to exist.
+func (a *API) artifact(kind, contentType string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := a.jobFor(w, r)
+		if !ok {
+			return
+		}
+		b, err := a.srv.Artifact(j, kind)
+		switch {
+		case err == ErrArtifactNotRecorded:
+			a.writeError(w, r, http.StatusNotFound,
+				fmt.Sprintf("job has no %s artifact (submit with \"telemetry\": true and wait for it to finish)", kind))
+			return
+		case err == ErrArtifactUnavailable:
+			a.writeError(w, r, http.StatusNotFound,
+				fmt.Sprintf("job's %s artifact is not in the artifact store (evicted, or every config was a cache hit; raise -artifact-bytes or resubmit with fresh configs)", kind))
+			return
+		case err != nil:
+			a.writeError(w, r, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		w.Write(b)
+	}
 }
 
 // jobEvents serves one job's complete lifecycle event chain, as JSON by
@@ -510,6 +541,14 @@ func (a *API) metricsProm(w http.ResponseWriter, r *http.Request) {
 	counter("aggsimd_cache_misses_total", "Result cache misses.", st.Cache.Misses)
 	counter("aggsimd_cache_joins_total", "Singleflight joins on in-flight simulations.", st.Cache.Joins)
 	counter("aggsimd_cache_evictions_total", "Result cache LRU evictions.", st.Cache.Evictions)
+
+	gauge("aggsimd_artifacts_resident", "Flight-recorder artifacts resident in the store.", float64(st.Artifacts.Count))
+	gauge("aggsimd_artifacts_bytes", "Flight-recorder store bytes resident.", float64(st.Artifacts.Bytes))
+	gauge("aggsimd_artifacts_bytes_limit", "Flight-recorder store byte bound.", float64(st.Artifacts.Limit))
+	counter("aggsimd_artifacts_puts_total", "Flight-recorder artifacts written.", st.Artifacts.Puts)
+	counter("aggsimd_artifacts_hits_total", "Flight-recorder artifact fetches served.", st.Artifacts.Hits)
+	counter("aggsimd_artifacts_misses_total", "Flight-recorder artifact fetches missed (evicted or never recorded).", st.Artifacts.Misses)
+	counter("aggsimd_artifacts_evictions_total", "Flight-recorder artifacts evicted by the byte bound.", st.Artifacts.Evictions)
 
 	counter("aggsimd_events_appended_total", "Lifecycle events recorded.", st.Events.Appended)
 	counter("aggsimd_events_dropped_total", "Lifecycle events dropped on slow subscribers.", st.Events.Dropped)

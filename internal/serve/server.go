@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -44,6 +45,18 @@ type Options struct {
 	// done/failed/aborted) with wall-time and queue-depth attribution. The
 	// same log feeds GET /api/v1/jobs/{id}/events and the SSE stream.
 	Events *svclog.EventLog
+	// TelemetrySample head-samples every Nth submission into the flight
+	// recorder (as if it had set JobSpec.Telemetry); 0 disables sampling.
+	// Sampled jobs carry spans, so they run their simulations serially —
+	// the always-on observability tax is bounded by picking N.
+	TelemetrySample int
+	// ArtifactDir, when non-empty, persists flight-recorder artifacts there
+	// in a bounded on-disk store whose index (like the result cache's)
+	// survives daemon restarts.
+	ArtifactDir string
+	// ArtifactBytes bounds the artifact store; least-recently-used records
+	// are evicted past it (default 64 MiB).
+	ArtifactBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -101,6 +114,11 @@ type JobSpec struct {
 	// no spans), and force the job's own runs serial, exactly like the
 	// figure drivers' shared-observer mode.
 	Spans bool `json:"spans,omitempty"`
+	// Telemetry opts the job into the flight recorder: metrics, spans and a
+	// per-config profiler all attach (implying the spans' serial-run cost),
+	// and the merged record persists as profile/folded/decompose artifacts.
+	// All of it is record-only — results stay byte-identical.
+	Telemetry bool `json:"telemetry,omitempty"`
 
 	Configs []ConfigSpec `json:"configs"`
 }
@@ -141,6 +159,15 @@ type Job struct {
 	metrics    *obs.Registry
 	spans      *obs.Spans
 
+	// Flight-recorder state (telemetry jobs only): the merged profile
+	// snapshot and folded stacks accumulate per simulated config under the
+	// server mutex; artifacts holds the finished record when no on-disk
+	// store is configured.
+	telemetry bool
+	profSnap  *obs.ProfileSnapshot
+	folded    []byte
+	artifacts map[string][]byte
+
 	// doneCh closes when the job reaches a terminal state.
 	doneCh chan struct{}
 }
@@ -156,6 +183,7 @@ type JobStatus struct {
 	CacheHits int      `json:"cache_hits"`
 	Simulated int      `json:"simulated"`
 	Joins     int      `json:"singleflight_joins"`
+	Telemetry bool     `json:"telemetry,omitempty"`
 	Error     string   `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
@@ -180,8 +208,9 @@ var ErrDraining = errors.New("serve: server is shutting down")
 // Server is the simulation service: admission control in Submit, a priority
 // queue drained by a fixed worker pool, and the content-addressed cache.
 type Server struct {
-	opt   Options
-	cache *Cache
+	opt       Options
+	cache     *Cache
+	artifacts *ArtifactStore
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -213,6 +242,13 @@ func New(opt Options) (*Server, error) {
 		if _, err := s.loadCache(opt.CachePath); err != nil {
 			return nil, err
 		}
+	}
+	if opt.ArtifactDir != "" {
+		store, err := NewArtifactStore(opt.ArtifactDir, opt.ArtifactBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.artifacts = store
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -299,10 +335,16 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 		submitted: time.Now(),
 		doneCh:    make(chan struct{}),
 	}
-	if spec.Metrics {
+	// Flight recorder: an explicit opt-in, or head-sampling every Nth
+	// admission. A telemetry job carries every observer at once (the spans
+	// imply the serial-run cost), and its merged record persists as
+	// artifacts when it finishes.
+	j.telemetry = spec.Telemetry ||
+		(s.opt.TelemetrySample > 0 && s.seq%uint64(s.opt.TelemetrySample) == 0)
+	if spec.Metrics || j.telemetry {
 		j.metrics = obs.NewRegistry()
 	}
-	if spec.Spans {
+	if spec.Spans || j.telemetry {
 		j.spans = obs.NewSpans(0)
 	}
 	s.jobs[j.id] = j
@@ -358,6 +400,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		CacheHits:   j.cacheHits,
 		Simulated:   j.simulated,
 		Joins:       j.joins,
+		Telemetry:   j.telemetry,
 		SubmittedAt: j.submitted,
 	}
 	if j.err != nil {
@@ -444,6 +487,8 @@ type ServerStats struct {
 	Cache CacheStats `json:"cache"`
 	// Events is the lifecycle event log's traffic (zero when disabled).
 	Events svclog.EventLogStats `json:"events"`
+	// Artifacts is the flight-recorder store's state (zero when disabled).
+	Artifacts ArtifactStats `json:"artifacts"`
 }
 
 // Stats snapshots the service counters.
@@ -467,6 +512,9 @@ func (s *Server) Stats() ServerStats {
 	st.Cache = s.cache.Stats()
 	if s.opt.Events != nil {
 		st.Events = s.opt.Events.Stats()
+	}
+	if s.artifacts != nil {
+		st.Artifacts = s.artifacts.Stats()
 	}
 	return st
 }
@@ -557,6 +605,11 @@ func (s *Server) runJob(j *Job) {
 			machine.CollectMetrics(j.metrics, r)
 		}
 	}
+	if jobErr == nil && j.telemetry {
+		// Persist the flight record before the job flips to done, so a
+		// client that sees "done" can always fetch the artifacts.
+		s.recordFlight(j)
+	}
 
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -604,9 +657,20 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 	var firstErr error
 	for _, batch := range batches {
 		cfgs := make([]machine.Config, len(batch))
+		// Telemetry jobs attach a fresh profiler per config; machine.Run
+		// folds the run's attribution into it before returning, so by the
+		// time onResult fires the profile is complete and snapshot-safe.
+		var profs []*obs.Profile
+		if j.telemetry {
+			profs = make([]*obs.Profile, len(batch))
+		}
 		for bi, i := range batch {
 			cfg := j.spec.Configs[i].canonical().Config()
 			cfg.Spans = j.spans
+			if profs != nil {
+				profs[bi] = obs.NewProfile()
+				cfg.Profile = profs[bi]
+			}
 			cfgs[bi] = cfg
 		}
 		onResult := func(bi int, r *machine.Result) {
@@ -623,6 +687,22 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 			}
 			results[i], resJSON[i] = r, js
 			s.cache.Fulfill(keys[i], j.spec.Seed, j.spec.Configs[i].canonical(), r, js)
+			if profs != nil && profs[bi] != nil {
+				// Fold this config's cycle attribution into the job's
+				// flight record: additive snapshot merge plus folded
+				// flamegraph stacks (concatenation is valid folded input).
+				snap := obs.SnapshotProfile(profs[bi])
+				var fb bytes.Buffer
+				profs[bi].WriteFolded(&fb)
+				s.mu.Lock()
+				if j.profSnap == nil {
+					j.profSnap = snap
+				} else {
+					j.profSnap.Merge(snap)
+				}
+				j.folded = append(j.folded, fb.Bytes()...)
+				s.mu.Unlock()
+			}
 			s.mu.Lock()
 			j.done++
 			j.simulated++
@@ -686,6 +766,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.opt.CachePath != "" {
 		if err := s.saveCache(s.opt.CachePath); err != nil && waitErr == nil {
+			waitErr = err
+		}
+	}
+	if s.artifacts != nil {
+		if err := s.artifacts.SaveIndex(); err != nil && waitErr == nil {
 			waitErr = err
 		}
 	}

@@ -51,7 +51,46 @@ type (
 	// SoakReport is the outcome of a soak run: latency percentiles, admission
 	// pushback counts and lifecycle-validation results.
 	SoakReport = serve.SoakReport
+	// ArtifactStore is the flight recorder's bounded on-disk artifact store.
+	ArtifactStore = serve.ArtifactStore
+	// ArtifactStats is the artifact store's counter snapshot.
+	ArtifactStats = serve.ArtifactStats
+
+	// The perf-diff engine (internal/obs/compare.go): RunDump gathers one
+	// run's flight-recorder record, CompareRuns diffs two of them, and
+	// BenchTimeline tracks the committed BENCH_*.json throughput trajectory.
+	// ProfileSnapshot is the serializable cycle-attribution aggregate.
+	ProfileSnapshot = obs.ProfileSnapshot
+	// SpanBreakdown is the serializable per-phase latency decomposition.
+	SpanBreakdown = obs.SpanBreakdown
+	// RunDump bundles one run's telemetry for comparison.
+	RunDump = obs.RunDump
+	// CompareOptions sets the diff's significance thresholds.
+	CompareOptions = obs.CompareOptions
+	// CompareReport is the typed perf-diff report (JSON + WriteText).
+	CompareReport = obs.CompareReport
+	// BenchDoc is one parsed BENCH_<date>.json snapshot.
+	BenchDoc = obs.BenchDoc
+	// TimelineReport is the cross-snapshot throughput trajectory report.
+	TimelineReport = obs.TimelineReport
 )
+
+// CompareRuns diffs two runs' phase decompositions, profiler buckets and
+// metric registries, naming the dominant regressed phase. See obs.Compare.
+func CompareRuns(a, b RunDump, opt CompareOptions) *CompareReport {
+	return obs.Compare(a, b, opt)
+}
+
+// BenchTimeline folds parsed BENCH snapshots into per-(arch,app)
+// trajectories with regression flagging. See obs.Timeline.
+func BenchTimeline(docs []*BenchDoc, threshold float64) *TimelineReport {
+	return obs.Timeline(docs, threshold)
+}
+
+// ParseBenchDoc parses one committed BENCH_<date>.json snapshot, tolerating
+// both the 2026-08-05 schema (no shard/GOMAXPROCS provenance) and the full
+// current one.
+func ParseBenchDoc(data []byte) (*BenchDoc, error) { return obs.ParseBenchDoc(data) }
 
 // Job lifecycle states.
 const (
