@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke telemetry-smoke bench-diff
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke telemetry-smoke tenant-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -89,6 +89,16 @@ soak-smoke:
 # artifact store surviving a daemon restart.
 telemetry-smoke:
 	$(GO) test -race -count 1 -run 'TestTelemetrySmoke' -v ./cmd/aggsimd
+
+# tenant-smoke is the multi-tenant end-to-end gate, run under the race
+# detector: boot the daemon with a tenants file, reject unauthenticated and
+# wrong-key requests (401) and over-ceiling priorities (403), prove quota
+# isolation between a quota-bounded noisy tenant and a quiet one via the
+# soak harness, check every per-tenant /metrics.prom family sums exactly to
+# its global counterpart under the strict Prometheus parser, and restart the
+# daemon against the persisted usage ledger.
+tenant-smoke:
+	$(GO) test -race -count 1 -run 'TestTenantSmoke|TestTenantFlagHygiene' -v ./cmd/aggsimd
 
 # bench-json snapshots simulator wall-clock throughput into a dated JSON
 # file; committing snapshots over time tracks the perf trajectory.

@@ -11,6 +11,7 @@
 //	        [-queue 16] [-cache-entries 512] [-cache-file aggsimd.cache]
 //	        [-telemetry-sample 0] [-artifact-dir DIR] [-artifact-bytes 64MiB]
 //	        [-drain-timeout 30s] [-log stderr|off|PATH] [-log-level info]
+//	        [-tenants-file tenants.json] [-usage-file aggsimd.usage]
 //
 // -workers bounds concurrently running jobs; -sweep-workers bounds the
 // simulations one job runs in parallel (0 = GOMAXPROCS divided across the
@@ -31,6 +32,21 @@
 // `pimdsm diff`. With -artifact-dir the records live in a bounded on-disk
 // store (-artifact-bytes, LRU eviction) whose index survives restarts like
 // the result cache's. Recording is record-only: results stay byte-identical
+// with it on or off.
+//
+// Multi-tenant mode (-tenants-file, DESIGN.md §14): the file declares the
+// tenant set — name, API key, priority ceiling, token-bucket rate limit and
+// queue/concurrency quotas (see examples/tenants.json). Every /api/v1
+// request must then carry a registered key (Authorization: Bearer or
+// X-API-Key; 401/403 otherwise), each tenant's submissions are gated by its
+// own bucket and quotas in front of the shared admission window (per-tenant
+// 429 with its own Retry-After), and all observability surfaces attribute
+// work to tenants: tenant= in logs and lifecycle events, a bounded `tenant`
+// label dimension on /metrics.prom (summing exactly to the global
+// counters), GET /api/v1/tenants and /api/v1/tenants/{name}/usage, and
+// `pimdsm usage`. -usage-file persists the cumulative per-tenant ledger
+// across restarts, atomically on graceful shutdown like the cache index.
+// Tenancy is record-only for the simulator: results stay byte-identical
 // with it on or off.
 //
 // The daemon serves the obs dashboard routes (/, /debug/vars,
@@ -62,6 +78,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -125,7 +142,31 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for running jobs on shutdown")
 	logDest := fs.String("log", "stderr", "structured JSON log destination: stderr, off, or a file path")
 	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn, error")
+	tenantsFile := fs.String("tenants-file", "", "enable multi-tenant mode: JSON file declaring tenants, keys and quotas")
+	usageFile := fs.String("usage-file", "", "persist the per-tenant usage ledger to this file across restarts")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Flag hygiene: a typo'd -log-level silently falling back to info would
+	// hide the debug lines the operator asked for. Reject it up front.
+	if err := pimdsm.ValidateLogLevel(*logLevel); err != nil {
+		fmt.Fprintln(stderr, "aggsimd: -log-level:", err)
+		return 2
+	}
+
+	var tenants *pimdsm.TenantRegistry
+	if *tenantsFile != "" {
+		var err error
+		tenants, err = pimdsm.LoadTenants(*tenantsFile)
+		if err != nil {
+			// A missing or malformed tenants file must never mean "run open":
+			// fail loudly instead of silently disabling authentication.
+			fmt.Fprintln(stderr, "aggsimd: -tenants-file:", err)
+			return 1
+		}
+	} else if *usageFile != "" {
+		fmt.Fprintln(stderr, "aggsimd: -usage-file requires -tenants-file")
 		return 2
 	}
 
@@ -160,6 +201,8 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		ArtifactBytes:   *artifactBytes,
 		Log:             svcLog,
 		Events:          pimdsm.NewEventLog(0),
+		Tenants:         tenants,
+		UsagePath:       *usageFile,
 	}, sw)
 	if err != nil {
 		fmt.Fprintln(stderr, "aggsimd:", err)
@@ -172,6 +215,10 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	if store := srv.ArtifactStore(); store != nil {
 		fmt.Fprintf(stderr, "aggsimd: artifact store %s: %d artifacts restored\n",
 			store.Dir(), store.Stats().Count)
+	}
+	if tenants != nil {
+		fmt.Fprintf(stderr, "aggsimd: multi-tenant mode: %d tenants from %s\n",
+			tenants.Len(), *tenantsFile)
 	}
 
 	dash := pimdsm.NewDashboard()
@@ -201,6 +248,16 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 				st.Cache.Joins, st.Cache.Evictions,
 				st.SimulatedRuns, st.SimulatedCycles))
 			dash.Publish("artifacts", srv.ArtifactsStatus())
+			if len(st.Tenants) > 0 {
+				var b strings.Builder
+				for _, t := range st.Tenants {
+					fmt.Fprintf(&b, "%-12s %d queued, %d running; %d submitted, %d done, %d failed, %d rejected; %d cache hits, %d runs\n",
+						t.Name, t.Queued, t.Running,
+						t.Usage.JobsSubmitted, t.Usage.JobsDone, t.Usage.JobsFailed, t.Usage.Rejected(),
+						t.Usage.CacheHits, t.Usage.SimulatedRuns)
+				}
+				dash.Publish("tenants", b.String())
+			}
 			select {
 			case <-statsDone:
 				return

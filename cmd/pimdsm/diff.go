@@ -24,6 +24,7 @@ import (
 func diffCmd(args []string) int {
 	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	bench := fs.Bool("bench", false, "diff two BENCH_*.json snapshots instead of two jobs")
 	threshold := fs.Float64("threshold", 0.10, "with -bench: relative cycles/sec drop flagged as a regression")
 	asJSON := fs.Bool("json", false, "print the typed report as JSON instead of text")
@@ -46,7 +47,7 @@ func diffCmd(args []string) int {
 	if *bench {
 		return diffBench(operands[0], operands[1], *threshold, *asJSON)
 	}
-	return diffJobs(*addr, operands[0], operands[1], *asJSON)
+	return diffJobs(*addr, *key, operands[0], operands[1], *asJSON)
 }
 
 // fetchRunDump pulls one job's flight-recorder artifacts into an
@@ -85,8 +86,8 @@ func fetchRunDump(c *pimdsm.ServiceClient, id string) (obs.RunDump, error) {
 	return dump, nil
 }
 
-func diffJobs(addr, idA, idB string, asJSON bool) int {
-	c := pimdsm.NewServiceClient(addr)
+func diffJobs(addr, key, idA, idB string, asJSON bool) int {
+	c := newClient(addr, key)
 	a, err := fetchRunDump(c, idA)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdsm diff:", err)

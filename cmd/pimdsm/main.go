@@ -12,8 +12,9 @@
 //	pimdsm status [-addr host:port] <job-id>
 //	pimdsm result [-addr host:port] <job-id> [-o out.json]
 //	pimdsm jobs   [-addr host:port]
-//	pimdsm watch  [-addr host:port] [-job id]
+//	pimdsm watch  [-addr host:port] [-job id] [-tenant name]
 //	pimdsm events [-addr host:port] <job-id> [-json]
+//	pimdsm usage  [-addr host:port] [-key k] [tenant]
 //	pimdsm diff   [-addr host:port] <jobA> <jobB>
 //	pimdsm diff   -bench BENCH_a.json BENCH_b.json
 //
@@ -28,6 +29,10 @@
 // missed across daemon hiccups. `events` prints one finished job's complete
 // lifecycle chain. With -wait, `submit` honors the daemon's Retry-After
 // pushback instead of giving up on a full admission window.
+//
+// Against a daemon running with -tenants-file, every service command sends
+// the tenant API key from -key (default $PIMDSM_API_KEY), and `usage` prints
+// per-tenant quotas, live scheduling state and the cumulative usage ledger.
 //
 // `trace dump` pretty-prints events recorded by `aggsim -trace-bin` in
 // sim-time order with per-kind totals; `trace convert` rewrites a binary
@@ -77,6 +82,8 @@ func realMain(args []string) int {
 		return watchCmd(args[1:])
 	case "events":
 		return eventsCmd(args[1:])
+	case "usage":
+		return usageCmd(args[1:])
 	case "diff":
 		return diffCmd(args[1:])
 	default:
@@ -97,6 +104,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       pimdsm jobs   [-addr host:port]")
 	fmt.Fprintln(os.Stderr, "       pimdsm watch  [-addr host:port] [-job id]")
 	fmt.Fprintln(os.Stderr, "       pimdsm events [-addr host:port] <job-id> [-json]")
+	fmt.Fprintln(os.Stderr, "       pimdsm usage  [-addr host:port] [-key k] [tenant] [-json]")
 	fmt.Fprintln(os.Stderr, "       pimdsm diff   [-addr host:port] [-json] <jobA> <jobB>")
 	fmt.Fprintln(os.Stderr, "       pimdsm diff   -bench [-threshold 0.10] <BENCH_a.json> <BENCH_b.json>")
 }

@@ -12,12 +12,27 @@ import (
 	"pimdsm"
 )
 
+// apiKeyFlag registers the shared -key flag: the tenant API key sent with
+// every request to a daemon running with -tenants-file. It defaults to
+// $PIMDSM_API_KEY so scripts set the key once in the environment.
+func apiKeyFlag(fs *flag.FlagSet) *string {
+	return fs.String("key", os.Getenv("PIMDSM_API_KEY"), "tenant API key (default $PIMDSM_API_KEY)")
+}
+
+// newClient builds a service client carrying the tenant API key.
+func newClient(addr, key string) *pimdsm.ServiceClient {
+	c := pimdsm.NewServiceClient(addr)
+	c.APIKey = key
+	return c
+}
+
 // submitCmd posts a job to an aggsimd daemon: either the standard Figure-6
 // batch for an application (-figure6) or a single configuration described
 // by the same flags aggsim takes.
 func submitCmd(args []string) int {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	name := fs.String("name", "", "job name (shown in listings)")
 	priority := fs.Int("priority", 0, "scheduling priority (higher runs first)")
 	seed := fs.Uint64("seed", 0, "cache-key seed (reserved; 0 is fine)")
@@ -63,7 +78,7 @@ func submitCmd(args []string) int {
 		})}
 	}
 
-	c := pimdsm.NewServiceClient(*addr)
+	c := newClient(*addr, *key)
 	var st pimdsm.JobStatus
 	var err error
 	if *wait || *progress {
@@ -120,33 +135,34 @@ func printStatus(st pimdsm.JobStatus) {
 	fmt.Println()
 }
 
-// addrAndID parses the common "[-addr host:port] <job-id>" shape, accepting
-// the id before or after the flags.
-func addrAndID(cmd string, args []string) (addr, id string, extra *flag.FlagSet, ok bool) {
+// addrAndID parses the common "[-addr host:port] [-key k] <job-id>" shape,
+// accepting the id before or after the flags.
+func addrAndID(cmd string, args []string) (addr, key, id string, ok bool) {
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	a := fs.String("addr", "localhost:8977", "aggsimd address")
+	k := apiKeyFlag(fs)
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
 		id, args = args[0], args[1:]
 	}
 	if err := fs.Parse(args); err != nil {
-		return "", "", nil, false
+		return "", "", "", false
 	}
 	if id == "" && fs.NArg() > 0 {
 		id = fs.Arg(0)
 	}
 	if id == "" {
 		fmt.Fprintf(os.Stderr, "pimdsm %s: need a job id\n", cmd)
-		return "", "", nil, false
+		return "", "", "", false
 	}
-	return *a, id, fs, true
+	return *a, *k, id, true
 }
 
 func statusCmd(args []string) int {
-	addr, id, _, ok := addrAndID("status", args)
+	addr, key, id, ok := addrAndID("status", args)
 	if !ok {
 		return 2
 	}
-	st, err := pimdsm.NewServiceClient(addr).Status(id)
+	st, err := newClient(addr, key).Status(id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdsm status:", err)
 		return 1
@@ -158,6 +174,7 @@ func statusCmd(args []string) int {
 func resultCmd(args []string) int {
 	fs := flag.NewFlagSet("result", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	out := fs.String("o", "", "write the result envelope JSON to this file (atomic) instead of stdout")
 	// Accept the job id anywhere among the flags (the flag package stops at
 	// the first non-flag argument, so re-parse whatever follows the id).
@@ -178,7 +195,7 @@ func resultCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "pimdsm result: need a job id")
 		return 2
 	}
-	st, results, err := pimdsm.NewServiceClient(*addr).Result(id)
+	st, results, err := newClient(*addr, *key).Result(id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdsm result:", err)
 		return 1
@@ -213,15 +230,17 @@ func resultCmd(args []string) int {
 func watchCmd(args []string) int {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	job := fs.String("job", "", "only this job's events (default: all jobs)")
+	tenant := fs.String("tenant", "", "only this tenant's events (default: all tenants)")
 	reconnect := fs.Duration("reconnect", time.Second, "wait between reconnect attempts (0 = exit on disconnect)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	c := pimdsm.NewServiceClient(*addr)
+	c := newClient(*addr, *key)
 	var last uint64
 	for {
-		got, err := c.StreamEvents(context.Background(), last, *job, printEvent)
+		got, err := c.StreamEvents(context.Background(), last, *job, *tenant, printEvent)
 		if got > last {
 			last = got
 		}
@@ -243,6 +262,7 @@ func watchCmd(args []string) int {
 func eventsCmd(args []string) int {
 	fs := flag.NewFlagSet("events", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	asJSON := fs.Bool("json", false, "print the raw event JSON")
 	// Accept the job id anywhere among the flags (the flag package stops at
 	// the first non-flag argument, so re-parse whatever follows the id).
@@ -263,7 +283,7 @@ func eventsCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "pimdsm events: need a job id")
 		return 2
 	}
-	events, err := pimdsm.NewServiceClient(*addr).JobEvents(id)
+	events, err := newClient(*addr, *key).JobEvents(id)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdsm events:", err)
 		return 1
@@ -300,10 +320,11 @@ func printEvent(ev pimdsm.JobEvent) {
 func jobsCmd(args []string) int {
 	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	c := pimdsm.NewServiceClient(*addr)
+	c := newClient(*addr, *key)
 	jobs, err := c.Jobs()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pimdsm jobs:", err)
@@ -322,4 +343,75 @@ func jobsCmd(args []string) int {
 			st.Cache.Entries, st.Cache.Limit, st.Cache.Hits, st.Cache.Misses, st.SimulatedRuns)
 	}
 	return 0
+}
+
+// usageCmd prints tenant usage from a multi-tenant daemon: every tenant, or
+// one tenant's cumulative ledger when a name is given.
+func usageCmd(args []string) int {
+	fs := flag.NewFlagSet("usage", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8977", "aggsimd address")
+	key := apiKeyFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw snapshot JSON")
+	// Accept the tenant name before or after the flags.
+	var name string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		name, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if name == "" && fs.NArg() > 0 {
+		name = fs.Arg(0)
+	}
+	c := newClient(*addr, *key)
+	var snaps []pimdsm.TenantSnapshot
+	if name != "" {
+		snap, err := c.Usage(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm usage:", err)
+			return 1
+		}
+		snaps = []pimdsm.TenantSnapshot{snap}
+	} else {
+		var err error
+		snaps, err = c.Tenants()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm usage:", err)
+			return 1
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Tenants []pimdsm.TenantSnapshot `json:"tenants"`
+		}{snaps}); err != nil {
+			fmt.Fprintln(os.Stderr, "pimdsm usage:", err)
+			return 1
+		}
+		return 0
+	}
+	for _, t := range snaps {
+		printTenant(t)
+	}
+	return 0
+}
+
+// printTenant renders one tenant snapshot: live state, then the cumulative
+// (restart-surviving) bill.
+func printTenant(t pimdsm.TenantSnapshot) {
+	fmt.Printf("%s: %d queued, %d running", t.Name, t.Queued, t.Running)
+	if t.RatePerSec > 0 {
+		fmt.Printf("  (rate %.3g/s burst %d)", t.RatePerSec, t.Burst)
+	}
+	if t.MaxQueued > 0 || t.MaxActive > 0 {
+		fmt.Printf("  (quota queued %d active %d)", t.MaxQueued, t.MaxActive)
+	}
+	fmt.Println()
+	u := t.Total
+	fmt.Printf("  jobs:   %d submitted, %d done, %d failed, %d aborted, %d rejected\n",
+		u.JobsSubmitted, u.JobsDone, u.JobsFailed, u.JobsAborted, u.Rejected())
+	fmt.Printf("  cache:  %d hits, %d misses, %d joins\n", u.CacheHits, u.CacheMisses, u.Joins)
+	fmt.Printf("  engine: %d runs, %d cycles\n", u.SimulatedRuns, u.EngineCycles)
+	fmt.Printf("  bytes:  %d result, %d artifact\n", u.ResultBytes, u.ArtifactBytes)
 }

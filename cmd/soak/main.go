@@ -10,12 +10,19 @@
 //	soak -addr localhost:8977 [-clients 4] [-jobs 4]
 //	     [-app fft] [-threads 8] [-scale 0.05]
 //	     [-submit-slo 0] [-status-slo 0] [-json]
+//	     [-key K] [-noisy-key K2] [-noisy-jobs 32] [-require-throttle]
 //
 // Jobs cycle through the paper's Figure 6 configuration batch for -app plus
 // smaller single-config batches carved from it, so the storm exercises the
 // cache, singleflight and admission paths at once. SLO flags of 0 skip the
 // latency assertions (useful for a first calibration run; feed the reported
 // p99s back in as budgets).
+//
+// Against a multi-tenant daemon (-tenants-file), -key authenticates the
+// storm, and -noisy-key runs the isolation scenario: a second tenant floods
+// the daemon with -noisy-jobs submissions while the quiet storm's SLOs are
+// asserted unchanged — the noisy tenant is expected to absorb bounded 429
+// pushback (-require-throttle asserts it actually did).
 package main
 
 import (
@@ -39,6 +46,10 @@ func main() {
 	statusSLO := flag.Duration("status-slo", 0, "p99 status latency budget (0 = report only)")
 	wait := flag.Duration("wait", 2*time.Minute, "per-job completion timeout")
 	asJSON := flag.Bool("json", false, "emit the report as JSON instead of text")
+	key := flag.String("key", os.Getenv("PIMDSM_API_KEY"), "tenant API key for the quiet storm (default $PIMDSM_API_KEY)")
+	noisyKey := flag.String("noisy-key", "", "enable the noisy-tenant isolation scenario with this second tenant key")
+	noisyJobs := flag.Int("noisy-jobs", 32, "noisy tenant's submission count")
+	requireThrottle := flag.Bool("require-throttle", false, "fail unless the noisy tenant was throttled at least once")
 	flag.Parse()
 
 	batch := pimdsm.Figure6Specs(*app, *threads, *scale)
@@ -54,12 +65,16 @@ func main() {
 	}
 
 	rep, err := pimdsm.RunSoak(*addr, pimdsm.SoakOptions{
-		Clients:       *clients,
-		JobsPerClient: *jobs,
-		Specs:         specs,
-		SubmitSLO:     *submitSLO,
-		StatusSLO:     *statusSLO,
-		Wait:          *wait,
+		Clients:         *clients,
+		JobsPerClient:   *jobs,
+		Specs:           specs,
+		SubmitSLO:       *submitSLO,
+		StatusSLO:       *statusSLO,
+		Wait:            *wait,
+		APIKey:          *key,
+		NoisyKey:        *noisyKey,
+		NoisyJobs:       *noisyJobs,
+		RequireThrottle: *requireThrottle,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "soak:", err)

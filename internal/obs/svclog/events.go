@@ -42,6 +42,7 @@ type JobEvent struct {
 	Running       int          `json:"running"`
 	Config        int          `json:"config"`
 	Cycles        uint64       `json:"cycles,omitempty"`
+	Tenant        string       `json:"tenant,omitempty"`
 	Detail        string       `json:"detail,omitempty"`
 }
 
@@ -220,6 +221,9 @@ func WriteChromeJSON(w io.Writer, events []JobEvent) error {
 		}
 		if ev.Cycles > 0 {
 			args["cycles"] = ev.Cycles
+		}
+		if ev.Tenant != "" {
+			args["tenant"] = ev.Tenant
 		}
 		if ev.Detail != "" {
 			args["detail"] = ev.Detail

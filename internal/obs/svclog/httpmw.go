@@ -22,13 +22,47 @@ const RequestIDHeader = "X-Request-ID"
 
 type ctxKey int
 
-const requestIDKey ctxKey = 0
+const (
+	requestIDKey ctxKey = 0
+	tenantKey    ctxKey = 1
+)
 
 // RequestID returns the request ID the middleware stamped into ctx ("" when
 // the request did not pass through the middleware).
 func RequestID(ctx context.Context) string {
 	id, _ := ctx.Value(requestIDKey).(string)
 	return id
+}
+
+// tenantHolder carries the authenticated tenant name from an inner auth
+// layer back out to the middleware's log line: the middleware installs the
+// holder before routing, authentication fills it in mid-request, and the
+// request log reads it after the handler returns. The mutex keeps the
+// handoff race-clean for handlers that write from helper goroutines.
+type tenantHolder struct {
+	mu   sync.Mutex
+	name string
+}
+
+// SetTenant records the authenticated tenant for this request. It is a
+// no-op when the request did not pass through Middleware.
+func SetTenant(ctx context.Context, name string) {
+	if h, ok := ctx.Value(tenantKey).(*tenantHolder); ok {
+		h.mu.Lock()
+		h.name = name
+		h.mu.Unlock()
+	}
+}
+
+// TenantName returns the tenant recorded by SetTenant ("" when the request
+// is anonymous or did not pass through Middleware).
+func TenantName(ctx context.Context) string {
+	if h, ok := ctx.Value(tenantKey).(*tenantHolder); ok {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.name
+	}
+	return ""
 }
 
 // reqSeq and procToken make generated request IDs unique across concurrent
@@ -166,7 +200,10 @@ func Middleware(log *slog.Logger, hs *HTTPStats, next http.Handler) http.Handler
 			id = newRequestID()
 		}
 		w.Header().Set(RequestIDHeader, id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		holder := &tenantHolder{}
+		ctx = context.WithValue(ctx, tenantKey, holder)
+		r = r.WithContext(ctx)
 
 		rw := &respWriter{ResponseWriter: w}
 		start := time.Now()
@@ -191,7 +228,10 @@ func Middleware(log *slog.Logger, hs *HTTPStats, next http.Handler) http.Handler
 		case status >= 400:
 			level = slog.LevelWarn
 		}
-		log.LogAttrs(r.Context(), level, "http_request",
+		// The attribute set is a logged contract (see the golden key-set
+		// test): exactly these keys on anonymous requests, plus "tenant"
+		// when an inner auth layer called SetTenant.
+		attrs := []slog.Attr{
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.String("route", route),
@@ -200,6 +240,10 @@ func Middleware(log *slog.Logger, hs *HTTPStats, next http.Handler) http.Handler
 			slog.Int64("dur_us", dur.Microseconds()),
 			slog.String("request_id", id),
 			slog.String("remote", r.RemoteAddr),
-		)
+		}
+		if tenant := TenantName(r.Context()); tenant != "" {
+			attrs = append(attrs, slog.String("tenant", tenant))
+		}
+		log.LogAttrs(r.Context(), level, "http_request", attrs...)
 	})
 }

@@ -102,6 +102,39 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
+// unescapeLabelValue inverts escapeLabel in a single pass. Sequential
+// ReplaceAll calls cannot do this: the writer renders the literal two bytes
+// `\n` as `\\n`, and a `\n`-then-`\\` replacement order turns that back into
+// a backslash followed by a real newline instead. Unknown escapes pass
+// through with the backslash intact, matching Prometheus text semantics.
+func unescapeLabelValue(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			sb.WriteByte('\n')
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		default:
+			sb.WriteByte('\\')
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
 func escapeHelp(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	return strings.ReplaceAll(v, "\n", `\n`)
@@ -211,11 +244,11 @@ func parsePromSample(line string) (PromSample, error) {
 				return s, fmt.Errorf("malformed label %q", kv)
 			}
 			k := kv[:eq]
-			v := strings.Trim(kv[eq+1:], `"`)
-			v = strings.ReplaceAll(v, `\"`, `"`)
-			v = strings.ReplaceAll(v, `\n`, "\n")
-			v = strings.ReplaceAll(v, `\\`, `\`)
-			s.Labels[k] = v
+			raw := kv[eq+1:]
+			if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+				return s, fmt.Errorf("label %s value not quoted in %q", k, line)
+			}
+			s.Labels[k] = unescapeLabelValue(raw[1 : len(raw)-1])
 		}
 		rest = rest[end+1:]
 	}

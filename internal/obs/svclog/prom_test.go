@@ -105,3 +105,40 @@ func TestLabelEscaping(t *testing.T) {
 		t.Fatalf("sample lost: %+v", fams["m"])
 	}
 }
+
+func TestLabelValueRoundTrip(t *testing.T) {
+	// Writer escaping and parser unescaping must be exact inverses, including
+	// the order-sensitive cases: a literal backslash followed by 'n' (written
+	// as `\\n`) must NOT come back as a newline, and values ending in a quote
+	// must not lose it to over-eager quote trimming.
+	values := []string{
+		`plain`,
+		`with "quotes"`,
+		`ends with quote"`,
+		`"starts with quote`,
+		"real\nnewline",
+		`literal \n two chars`,
+		`backslash \ alone`,
+		`trailing backslash \`,
+		"\\\n", // backslash then newline
+		`\\n`,  // two backslashes then n
+		`mix " of \ every` + "\n" + `thing"\`,
+	}
+	for _, v := range values {
+		var buf bytes.Buffer
+		p := NewPromWriter(&buf)
+		p.Family("m", "gauge", "round trip")
+		p.Sample("m", []Label{{K: "k", V: v}}, 1)
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fams, err := ParsePromText(buf.String())
+		if err != nil {
+			t.Fatalf("value %q: exposition does not parse: %v\n%s", v, err, buf.String())
+		}
+		got := fams["m"].Samples[0].Labels["k"]
+		if got != v {
+			t.Errorf("label value round trip: wrote %q, parsed %q", v, got)
+		}
+	}
+}

@@ -87,6 +87,54 @@ func TestRequestLogGoldenKeySet(t *testing.T) {
 	}
 }
 
+// TestRequestLogTenantKey: a handler that resolves a tenant (as the API's
+// auth wrapper does via SetTenant) gets exactly one extra key — tenant —
+// appended to the golden anonymous set; an anonymous request stays on the
+// golden set itself (asserted by TestRequestLogGoldenKeySet above).
+func TestRequestLogTenantKey(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, slog.LevelInfo, true)
+	h := Middleware(log, nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		SetTenant(r.Context(), "acme")
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/v1/jobs", nil))
+
+	var m map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &m); err != nil {
+		t.Fatalf("request log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if m["tenant"] != "acme" {
+		t.Fatalf("tenant key = %v, want acme (%q)", m["tenant"], buf.String())
+	}
+
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if k != "tenant" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	want, err := os.ReadFile("testdata/http_log_keys.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(keys, "\n") + "\n"; got != string(want) {
+		t.Fatalf("tenant line drifted beyond the one extra key.\ngot (minus tenant):\n%swant:\n%s", got, want)
+	}
+}
+
+// SetTenant outside the middleware must be a harmless no-op, and TenantName
+// must come back empty.
+func TestSetTenantWithoutMiddleware(t *testing.T) {
+	r := httptest.NewRequest("GET", "/x", nil)
+	SetTenant(r.Context(), "ghost")
+	if got := TenantName(r.Context()); got != "" {
+		t.Fatalf("TenantName without middleware = %q, want empty", got)
+	}
+}
+
 func TestMiddlewareRequestID(t *testing.T) {
 	var seen string
 	h := Middleware(Nop(), nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,10 @@ type Client struct {
 	Base string
 	// HTTP overrides the transport (nil means http.DefaultClient).
 	HTTP *http.Client
+	// APIKey, when non-empty, authenticates every request as a tenant
+	// (Authorization: Bearer). Required against a daemon running with
+	// -tenants-file; ignored by an anonymous daemon.
+	APIKey string
 }
 
 // NewClient returns a client for the daemon at addr.
@@ -43,7 +47,27 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError decodes a non-2xx response into an error; 429 becomes *BusyError.
+// newRequest builds a request with the client's API key attached (when set).
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	var req *http.Request
+	var err error
+	if ctx != nil {
+		req, err = http.NewRequestWithContext(ctx, method, url, body)
+	} else {
+		req, err = http.NewRequest(method, url, body)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("Authorization", "Bearer "+c.APIKey)
+	}
+	return req, nil
+}
+
+// apiError decodes a non-2xx response into an error; 429 becomes *BusyError
+// (carrying the server's tenant/reason attribution when present). 401/403
+// stay plain errors, so SubmitRetry never retries an auth failure.
 func apiError(resp *http.Response, body []byte) error {
 	var eb errorBody
 	msg := strings.TrimSpace(string(body))
@@ -55,13 +79,21 @@ func apiError(resp *http.Response, body []byte) error {
 		if sec < 1 {
 			sec = 1
 		}
-		return &BusyError{RetryAfter: time.Duration(sec) * time.Second}
+		return &BusyError{
+			RetryAfter: time.Duration(sec) * time.Second,
+			Tenant:     eb.Tenant,
+			Reason:     eb.Reason,
+		}
 	}
 	return fmt.Errorf("serve: %s: %s", resp.Status, msg)
 }
 
 func (c *Client) get(path string, out any) error {
-	resp, err := c.httpClient().Get(c.url(path))
+	req, err := c.newRequest(nil, "GET", c.url(path), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
 	}
@@ -84,7 +116,12 @@ func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return st, err
 	}
-	resp, err := c.httpClient().Post(c.url("/api/v1/jobs"), "application/json", bytes.NewReader(buf))
+	req, err := c.newRequest(nil, "POST", c.url("/api/v1/jobs"), bytes.NewReader(buf))
+	if err != nil {
+		return st, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return st, err
 	}
@@ -181,7 +218,11 @@ func (c *Client) Decompose(id string) ([]byte, error) {
 }
 
 func (c *Client) raw(path string) ([]byte, error) {
-	resp, err := c.httpClient().Get(c.url(path))
+	req, err := c.newRequest(nil, "GET", c.url(path), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +242,24 @@ func (c *Client) Stats() (ServerStats, error) {
 	var st ServerStats
 	err := c.get("/api/v1/stats", &st)
 	return st, err
+}
+
+// Tenants lists every tenant's quotas and usage (404 against an anonymous
+// daemon).
+func (c *Client) Tenants() ([]TenantSnapshot, error) {
+	var out struct {
+		Tenants []TenantSnapshot `json:"tenants"`
+	}
+	err := c.get("/api/v1/tenants", &out)
+	return out.Tenants, err
+}
+
+// Usage fetches one tenant's usage: process-lifetime counters plus the
+// cumulative restart-surviving ledger.
+func (c *Client) Usage(name string) (TenantSnapshot, error) {
+	var snap TenantSnapshot
+	err := c.get("/api/v1/tenants/"+url.PathEscape(name)+"/usage", &snap)
+	return snap, err
 }
 
 // Wait polls until the job reaches a terminal state (or ctx expires) and
@@ -237,20 +296,23 @@ func (c *Client) JobEvents(id string) ([]svclog.JobEvent, error) {
 
 // StreamEvents subscribes to the daemon's SSE event stream and invokes fn
 // for every lifecycle event received. lastID resumes after a previously seen
-// sequence number (0 means from now on); job filters to one job when
-// non-empty. It returns the last sequence number delivered, so a caller can
-// reconnect with it after a dropped connection. The stream ends when ctx is
-// canceled or the server closes the connection.
-func (c *Client) StreamEvents(ctx context.Context, lastID uint64, job string, fn func(svclog.JobEvent)) (uint64, error) {
+// sequence number (0 means from now on); job filters to one job and tenant
+// to one tenant's jobs when non-empty. It returns the last sequence number
+// delivered, so a caller can reconnect with it after a dropped connection.
+// The stream ends when ctx is canceled or the server closes the connection.
+func (c *Client) StreamEvents(ctx context.Context, lastID uint64, job, tenant string, fn func(svclog.JobEvent)) (uint64, error) {
 	q := url.Values{}
 	if job != "" {
 		q.Set("job", job)
+	}
+	if tenant != "" {
+		q.Set("tenant", tenant)
 	}
 	u := c.url("/api/v1/events")
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	req, err := c.newRequest(ctx, "GET", u, nil)
 	if err != nil {
 		return lastID, err
 	}
@@ -321,7 +383,7 @@ func (c *Client) StreamEvents(ctx context.Context, lastID uint64, job string, fn
 // StreamProgress copies the job's plain-text progress stream to w until the
 // job finishes or ctx is canceled.
 func (c *Client) StreamProgress(ctx context.Context, id string, w io.Writer) error {
-	req, err := http.NewRequestWithContext(ctx, "GET", c.url("/api/v1/jobs/"+id+"/progress"), nil)
+	req, err := c.newRequest(ctx, "GET", c.url("/api/v1/jobs/"+id+"/progress"), nil)
 	if err != nil {
 		return err
 	}

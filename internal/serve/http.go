@@ -2,12 +2,14 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"pimdsm/internal/obs"
@@ -31,11 +33,21 @@ import (
 //	GET  /api/v1/jobs/{id}/progress plain-text progress stream until done
 //	GET  /api/v1/jobs/{id}/events   lifecycle event chain (?format=chrome)
 //	GET  /api/v1/events             SSE stream of all lifecycle events
-//	                                (Last-Event-ID resume, ?job= filter)
+//	                                (Last-Event-ID resume, ?job= / ?tenant= filter)
 //	GET  /api/v1/stats              server + cache + event counters
+//	GET  /api/v1/tenants            tenant quotas and live usage (keys never shown)
+//	GET  /api/v1/tenants/{name}/usage  one tenant's usage (process + cumulative)
 //	GET  /metrics.prom              Prometheus text exposition
 //	GET  /healthz                   pure liveness (always 200 while serving)
 //	GET  /readyz                    readiness: 503 while draining/saturated
+//
+// With a tenant registry configured (Options.Tenants), every /api/v1 route
+// requires an API key (Authorization: Bearer <key> or X-API-Key): a missing
+// or unknown key gets a typed 401 body carrying the request ID, a
+// submission above the tenant's priority ceiling a typed 403. Probe and
+// scrape paths (/healthz, /readyz, /metrics.prom) and the dashboard stay
+// open. Without a registry every route is anonymous — the pre-tenancy
+// behavior, byte for byte.
 type API struct {
 	srv  *Server
 	dash *obs.Dashboard
@@ -78,6 +90,10 @@ type errorBody struct {
 	Error         string `json:"error"`
 	RequestID     string `json:"request_id,omitempty"`
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+	// Tenant and Reason attribute tenant-gated rejections (429/403): who was
+	// pushed back and which gate did it.
+	Tenant string `json:"tenant,omitempty"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // writeJSON encodes v; an encode/write failure (client gone, marshal bug)
@@ -98,24 +114,64 @@ func (a *API) writeError(w http.ResponseWriter, r *http.Request, code int, msg s
 	a.writeJSON(w, r, code, errorBody{Error: msg, RequestID: svclog.RequestID(r.Context())})
 }
 
+// apiKey extracts the request's API key: Authorization: Bearer <key> takes
+// precedence, X-API-Key is the fallback.
+func apiKey(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); len(h) > 7 && strings.EqualFold(h[:7], "Bearer ") {
+		return strings.TrimSpace(h[7:])
+	}
+	return r.Header.Get("X-API-Key")
+}
+
+// auth guards one API handler with tenant authentication. Anonymous mode
+// (no registry) is a pass-through. On success the tenant name is recorded
+// in the request context, where the submit handler stamps it into the
+// JobSpec and the svclog middleware picks it up for the request log line.
+// The wrapper runs inside the mux, so 401 responses carry the real route
+// pattern in logs and histograms.
+func (a *API) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := a.srv.Tenants()
+		if reg == nil {
+			h(w, r)
+			return
+		}
+		key := apiKey(r)
+		if key == "" {
+			a.writeError(w, r, http.StatusUnauthorized,
+				"missing API key (send Authorization: Bearer <key> or X-API-Key)")
+			return
+		}
+		name, ok := reg.Authenticate(key)
+		if !ok {
+			a.writeError(w, r, http.StatusUnauthorized, "invalid API key")
+			return
+		}
+		svclog.SetTenant(r.Context(), name)
+		h(w, r)
+	}
+}
+
 // Handler returns the API handler: the route mux wrapped in the request
 // middleware; dashboard routes (when a dashboard was given) serve everything
 // outside the API and health/metrics paths.
 func (a *API) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/v1/jobs", a.submit)
-	mux.HandleFunc("GET /api/v1/jobs", a.list)
-	mux.HandleFunc("GET /api/v1/jobs/{id}", a.status)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/result", a.result)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", a.metrics)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", a.spans)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/profile", a.artifact(ArtifactProfile, "application/json"))
-	mux.HandleFunc("GET /api/v1/jobs/{id}/folded", a.artifact(ArtifactFolded, "text/plain; charset=utf-8"))
-	mux.HandleFunc("GET /api/v1/jobs/{id}/decompose", a.artifact(ArtifactDecompose, "application/json"))
-	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", a.progress)
-	mux.HandleFunc("GET /api/v1/jobs/{id}/events", a.jobEvents)
-	mux.HandleFunc("GET /api/v1/events", a.eventsSSE)
-	mux.HandleFunc("GET /api/v1/stats", a.stats)
+	mux.HandleFunc("POST /api/v1/jobs", a.auth(a.submit))
+	mux.HandleFunc("GET /api/v1/jobs", a.auth(a.list))
+	mux.HandleFunc("GET /api/v1/jobs/{id}", a.auth(a.status))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", a.auth(a.result))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/metrics", a.auth(a.metrics))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/spans", a.auth(a.spans))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/profile", a.auth(a.artifact(ArtifactProfile, "application/json")))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/folded", a.auth(a.artifact(ArtifactFolded, "text/plain; charset=utf-8")))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/decompose", a.auth(a.artifact(ArtifactDecompose, "application/json")))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/progress", a.auth(a.progress))
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", a.auth(a.jobEvents))
+	mux.HandleFunc("GET /api/v1/events", a.auth(a.eventsSSE))
+	mux.HandleFunc("GET /api/v1/stats", a.auth(a.stats))
+	mux.HandleFunc("GET /api/v1/tenants", a.auth(a.tenantsList))
+	mux.HandleFunc("GET /api/v1/tenants/{name}/usage", a.auth(a.tenantUsage))
 	mux.HandleFunc("GET /metrics.prom", a.metricsProm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -149,8 +205,12 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 		a.writeError(w, r, http.StatusBadRequest, "bad job spec: "+err.Error())
 		return
 	}
+	// The tenant is the authenticated identity, never the client's claim: a
+	// spec-supplied value is overwritten (tenant mode) or cleared (anonymous).
+	spec.Tenant = svclog.TenantName(r.Context())
 	st, err := a.srv.Submit(spec)
 	if err != nil {
+		var fe *ForbiddenError
 		switch e := err.(type) {
 		case *BusyError:
 			sec := int(e.RetryAfter / time.Second)
@@ -163,10 +223,21 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 				Error:         err.Error(),
 				RequestID:     svclog.RequestID(r.Context()),
 				RetryAfterSec: sec,
+				Tenant:        e.Tenant,
+				Reason:        e.Reason,
 			})
 		default:
 			if err == ErrDraining {
 				a.writeError(w, r, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+			if errors.As(err, &fe) {
+				a.writeJSON(w, r, http.StatusForbidden, errorBody{
+					Error:     err.Error(),
+					RequestID: svclog.RequestID(r.Context()),
+					Tenant:    fe.Tenant,
+					Reason:    fe.Msg,
+				})
 				return
 			}
 			a.writeError(w, r, http.StatusBadRequest, err.Error())
@@ -177,9 +248,51 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) list(w http.ResponseWriter, r *http.Request) {
+	jobs := a.srv.Jobs()
+	if tenant := r.URL.Query().Get("tenant"); tenant != "" {
+		kept := jobs[:0]
+		for _, st := range jobs {
+			if st.Tenant == tenant {
+				kept = append(kept, st)
+			}
+		}
+		jobs = kept
+	}
 	a.writeJSON(w, r, http.StatusOK, struct {
 		Jobs []JobStatus `json:"jobs"`
-	}{Jobs: a.srv.Jobs()})
+	}{Jobs: jobs})
+}
+
+// tenantsList serves every tenant's quotas, live scheduling state and usage
+// (never the keys). 404 in anonymous mode, like the event endpoints when the
+// event log is off.
+func (a *API) tenantsList(w http.ResponseWriter, r *http.Request) {
+	reg := a.srv.Tenants()
+	if reg == nil {
+		a.writeError(w, r, http.StatusNotFound, "tenancy disabled on this server (run with -tenants-file)")
+		return
+	}
+	a.writeJSON(w, r, http.StatusOK, struct {
+		Tenants []TenantSnapshot `json:"tenants"`
+	}{Tenants: reg.Snapshot()})
+}
+
+// tenantUsage serves one tenant's usage: the process-lifetime counters that
+// back the per-tenant Prometheus families, and the cumulative ledger that
+// survives restarts.
+func (a *API) tenantUsage(w http.ResponseWriter, r *http.Request) {
+	reg := a.srv.Tenants()
+	if reg == nil {
+		a.writeError(w, r, http.StatusNotFound, "tenancy disabled on this server (run with -tenants-file)")
+		return
+	}
+	name := r.PathValue("name")
+	snap, ok := reg.Get(name)
+	if !ok {
+		a.writeError(w, r, http.StatusNotFound, "no such tenant "+name)
+		return
+	}
+	a.writeJSON(w, r, http.StatusOK, snap)
 }
 
 // readyz is the readiness probe: 200 while the server accepts submissions,
@@ -338,10 +451,10 @@ func (a *API) jobEvents(w http.ResponseWriter, r *http.Request) {
 // eventsSSE streams lifecycle events as Server-Sent Events: `id:` carries
 // the global sequence number, so a reconnecting client sends Last-Event-ID
 // and the ring replays everything it missed. ?job= filters to one job's
-// events (the filter applies after sequencing — ids stay global, resume
-// still works). This is the dashboard's scale path: one connection per
-// watcher regardless of job count, where the plain-text long-poll held one
-// connection per job.
+// events and ?tenant= to one tenant's (filters apply after sequencing — ids
+// stay global, resume still works). This is the dashboard's scale path: one
+// connection per watcher regardless of job count, where the plain-text
+// long-poll held one connection per job.
 func (a *API) eventsSSE(w http.ResponseWriter, r *http.Request) {
 	el := a.srv.Events()
 	if el == nil {
@@ -355,6 +468,7 @@ func (a *API) eventsSSE(w http.ResponseWriter, r *http.Request) {
 		last, _ = strconv.ParseUint(v, 10, 64)
 	}
 	jobFilter := r.URL.Query().Get("job")
+	tenantFilter := r.URL.Query().Get("tenant")
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -368,7 +482,8 @@ func (a *API) eventsSSE(w http.ResponseWriter, r *http.Request) {
 	}
 
 	emit := func(ev svclog.JobEvent) bool {
-		if jobFilter != "" && ev.Job != jobFilter {
+		if (jobFilter != "" && ev.Job != jobFilter) ||
+			(tenantFilter != "" && ev.Tenant != tenantFilter) {
 			last = ev.Seq // filtered events still advance the cursor
 			return true
 		}
@@ -553,6 +668,71 @@ func (a *API) metricsProm(w http.ResponseWriter, r *http.Request) {
 	counter("aggsimd_events_appended_total", "Lifecycle events recorded.", st.Events.Appended)
 	counter("aggsimd_events_dropped_total", "Lifecycle events dropped on slow subscribers.", st.Events.Dropped)
 	gauge("aggsimd_event_subscribers", "Live SSE/event subscribers.", float64(st.Events.Subscribers))
+
+	// Per-tenant families, only with a registry configured — the anonymous
+	// exposition stays byte-identical to the pre-tenancy daemon. The label
+	// cardinality is bounded by the tenants file: the fixed tenant set is
+	// the only source of `tenant` values. Per-tenant job/cache/cycle
+	// counters sum exactly to the globals above when all traffic is
+	// authenticated, because each increments at the same point as its
+	// global counterpart.
+	if len(st.Tenants) > 0 {
+		tc := func(name, help string, pick func(TenantSnapshot) uint64) {
+			p.Family(name, "counter", help)
+			for _, t := range st.Tenants {
+				p.Sample(name, []svclog.Label{{K: "tenant", V: t.Name}}, float64(pick(t)))
+			}
+		}
+		tg := func(name, help string, pick func(TenantSnapshot) float64) {
+			p.Family(name, "gauge", help)
+			for _, t := range st.Tenants {
+				p.Sample(name, []svclog.Label{{K: "tenant", V: t.Name}}, pick(t))
+			}
+		}
+		tc("aggsimd_tenant_http_requests_total", "Authenticated API requests by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.Requests })
+		tc("aggsimd_tenant_jobs_submitted_total", "Jobs admitted by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.JobsSubmitted })
+		tc("aggsimd_tenant_jobs_done_total", "Jobs finished successfully by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.JobsDone })
+		tc("aggsimd_tenant_jobs_failed_total", "Jobs finished with an error by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.JobsFailed })
+		tc("aggsimd_tenant_jobs_aborted_total", "Queued jobs aborted by shutdown, by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.JobsAborted })
+		p.Family("aggsimd_tenant_rejected_total", "counter", "Submissions rejected by tenant and gate.")
+		for _, t := range st.Tenants {
+			for _, rr := range []struct {
+				reason string
+				v      uint64
+			}{
+				{"rate", t.Usage.RejectedRate},
+				{"queue_quota", t.Usage.RejectedQueueQuota},
+				{"concurrency_quota", t.Usage.RejectedActiveQuota},
+				{"window", t.Usage.RejectedWindow},
+			} {
+				p.Sample("aggsimd_tenant_rejected_total",
+					[]svclog.Label{{K: "tenant", V: t.Name}, {K: "reason", V: rr.reason}}, float64(rr.v))
+			}
+		}
+		tc("aggsimd_tenant_cache_hits_total", "Result cache hits by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.CacheHits })
+		tc("aggsimd_tenant_cache_misses_total", "Result cache misses by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.CacheMisses })
+		tc("aggsimd_tenant_cache_joins_total", "Singleflight joins by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.Joins })
+		tc("aggsimd_tenant_simulated_runs_total", "Real simulations executed by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.SimulatedRuns })
+		tc("aggsimd_tenant_simulated_cycles_total", "Engine cycles consumed by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.EngineCycles })
+		tc("aggsimd_tenant_result_bytes_total", "Canonical result bytes delivered by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.ResultBytes })
+		tc("aggsimd_tenant_artifact_bytes_total", "Flight-recorder artifact bytes written by tenant.",
+			func(t TenantSnapshot) uint64 { return t.Usage.ArtifactBytes })
+		tg("aggsimd_tenant_queued", "Jobs waiting to run by tenant.",
+			func(t TenantSnapshot) float64 { return float64(t.Queued) })
+		tg("aggsimd_tenant_running", "Jobs currently simulating by tenant.",
+			func(t TenantSnapshot) float64 { return float64(t.Running) })
+	}
 
 	snap := a.hs.Snapshot()
 	p.Family("aggsimd_http_requests_total", "counter", "HTTP requests by route and status code.")

@@ -335,7 +335,7 @@ func TestHTTPSSEReplayAfterReconnect(t *testing.T) {
 	}
 	var first []svclog.JobEvent
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	last, err := c.StreamEvents(ctx, 0, "", func(ev svclog.JobEvent) {
+	last, err := c.StreamEvents(ctx, 0, "", "", func(ev svclog.JobEvent) {
 		first = append(first, ev)
 		if ev.Job == a.ID && ev.Kind == svclog.EvDone {
 			cancel()
@@ -366,7 +366,7 @@ func TestHTTPSSEReplayAfterReconnect(t *testing.T) {
 	// Reconnect with the cursor: the daemon replays everything missed.
 	var second []svclog.JobEvent
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
-	_, err = c.StreamEvents(ctx2, last, "", func(ev svclog.JobEvent) {
+	_, err = c.StreamEvents(ctx2, last, "", "", func(ev svclog.JobEvent) {
 		second = append(second, ev)
 		if ev.Job == b.ID && ev.Kind == svclog.EvDone {
 			cancel2()

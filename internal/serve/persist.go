@@ -42,3 +42,75 @@ func (s *Server) loadCache(path string) (int, error) {
 	}
 	return s.cache.LoadIndex(&idx), nil
 }
+
+// usageLedgerVersion guards the usage-ledger file format.
+const usageLedgerVersion = 1
+
+// usageLedger is the persisted per-tenant cumulative usage: the tenant's
+// restart-surviving bill, written like the cache index (atomic temp+rename
+// on Shutdown, restored in New).
+type usageLedger struct {
+	Version int                    `json:"version"`
+	Usage   map[string]TenantUsage `json:"usage"`
+}
+
+// saveUsage writes the cumulative per-tenant ledger to path atomically.
+func (s *Server) saveUsage(path string) error {
+	ledger := usageLedger{Version: usageLedgerVersion, Usage: s.opt.Tenants.exportUsage()}
+	err := obs.WriteFileAtomic(path, func(w io.Writer) error {
+		// Encode with stable key order so identical state produces identical
+		// bytes (maps would otherwise randomize).
+		ordered := struct {
+			Version int               `json:"version"`
+			Names   []string          `json:"names"`
+			Rows    []json.RawMessage `json:"rows"`
+		}{Version: ledger.Version}
+		for _, name := range sortedUsageNames(ledger.Usage) {
+			row, err := json.Marshal(ledger.Usage[name])
+			if err != nil {
+				return err
+			}
+			ordered.Names = append(ordered.Names, name)
+			ordered.Rows = append(ordered.Rows, row)
+		}
+		return json.NewEncoder(w).Encode(ordered)
+	})
+	if err != nil {
+		return fmt.Errorf("serve: save usage ledger: %w", err)
+	}
+	return nil
+}
+
+// loadUsage restores a persisted ledger as each tenant's base usage. A
+// missing file is a fresh start; a corrupt or wrong-version one is an error,
+// same policy as the cache index.
+func (s *Server) loadUsage(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	var onDisk struct {
+		Version int           `json:"version"`
+		Names   []string      `json:"names"`
+		Rows    []TenantUsage `json:"rows"`
+	}
+	if err := json.NewDecoder(f).Decode(&onDisk); err != nil {
+		return fmt.Errorf("serve: usage ledger %s is corrupt: %w", path, err)
+	}
+	if onDisk.Version != usageLedgerVersion {
+		return fmt.Errorf("serve: usage ledger %s has version %d, want %d", path, onDisk.Version, usageLedgerVersion)
+	}
+	if len(onDisk.Names) != len(onDisk.Rows) {
+		return fmt.Errorf("serve: usage ledger %s is corrupt: %d names, %d rows", path, len(onDisk.Names), len(onDisk.Rows))
+	}
+	ledger := make(map[string]TenantUsage, len(onDisk.Names))
+	for i, name := range onDisk.Names {
+		ledger[name] = onDisk.Rows[i]
+	}
+	s.opt.Tenants.restoreUsage(ledger)
+	return nil
+}

@@ -149,16 +149,27 @@ func (s *Server) recordFlight(j *Job) {
 		},
 	}
 
+	// Artifact bytes are part of the tenant's bill: count what actually got
+	// written, whichever home the record ends up in.
+	var artifactBytes uint64
+
 	if s.artifacts != nil {
 		if j.simulated == 0 {
 			return
 		}
 		for kind, enc := range encode {
 			name := artifactName(j.spec, kind)
-			if err := s.artifacts.Put(name, enc); err != nil {
+			written := func(w io.Writer) error {
+				cw := &countingWriter{w: w}
+				err := enc(cw)
+				artifactBytes += cw.n
+				return err
+			}
+			if err := s.artifacts.Put(name, written); err != nil {
 				s.opt.Log.Error("artifact_write_failed", "job", j.id, "artifact", name, "err", err.Error())
 			}
 		}
+		s.tenantAccount(j, func(u *TenantUsage) { u.ArtifactBytes += artifactBytes })
 		return
 	}
 	arts := make(map[string][]byte, len(encode))
@@ -169,10 +180,24 @@ func (s *Server) recordFlight(j *Job) {
 			continue
 		}
 		arts[kind] = buf.Bytes()
+		artifactBytes += uint64(buf.Len())
 	}
 	s.mu.Lock()
 	j.artifacts = arts
 	s.mu.Unlock()
+	s.tenantAccount(j, func(u *TenantUsage) { u.ArtifactBytes += artifactBytes })
+}
+
+// countingWriter counts bytes on their way through to w.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // ArtifactsStatus renders the store listing for the dashboard's artifacts

@@ -57,6 +57,17 @@ type Options struct {
 	// ArtifactBytes bounds the artifact store; least-recently-used records
 	// are evicted past it (default 64 MiB).
 	ArtifactBytes int64
+	// Tenants, when non-nil, turns on the multi-tenant edge: every
+	// submission must name a registered tenant (the HTTP layer stamps
+	// JobSpec.Tenant from the API key), and the tenant's token bucket,
+	// queue/concurrency quotas and priority ceiling gate admission in front
+	// of the shared window. Nil means anonymous open access — the
+	// pre-tenancy behavior, byte for byte.
+	Tenants *Tenants
+	// UsagePath, when non-empty (and Tenants is set), persists the
+	// cumulative per-tenant usage ledger there on Shutdown and restores it
+	// in New, like the cache index.
+	UsagePath string
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +130,10 @@ type JobSpec struct {
 	// and the merged record persists as profile/folded/decompose artifacts.
 	// All of it is record-only — results stay byte-identical.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Tenant attributes the job. With a tenant registry configured it names
+	// a registered tenant and is stamped server-side from the API key (a
+	// client-supplied value is overwritten); in anonymous mode it is cleared.
+	Tenant string `json:"tenant,omitempty"`
 
 	Configs []ConfigSpec `json:"configs"`
 }
@@ -184,6 +199,7 @@ type JobStatus struct {
 	Simulated int      `json:"simulated"`
 	Joins     int      `json:"singleflight_joins"`
 	Telemetry bool     `json:"telemetry,omitempty"`
+	Tenant    string   `json:"tenant,omitempty"`
 	Error     string   `json:"error,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
@@ -191,15 +207,27 @@ type JobStatus struct {
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
 }
 
-// BusyError is the admission-control rejection: the queue window is full.
-// RetryAfter estimates when a slot frees up (EWMA job time scaled by the
-// backlog per worker).
+// BusyError is the admission-control rejection. RetryAfter estimates when a
+// slot frees up (EWMA job time scaled by the backlog per worker). With a
+// tenant registry configured, Tenant names who was pushed back and Reason
+// which gate rejected — the shared window (RejectWindow) or one of the
+// tenant's own limits (RejectRate, RejectQueueQuota, RejectActiveQuota),
+// each carrying the tenant's personal Retry-After.
 type BusyError struct {
 	RetryAfter time.Duration
+	Tenant     string
+	Reason     string
 }
 
 func (e *BusyError) Error() string {
-	return fmt.Sprintf("serve: admission window full, retry after %s", e.RetryAfter)
+	reason := e.Reason
+	if reason == "" {
+		reason = RejectWindow
+	}
+	if e.Tenant != "" {
+		return fmt.Sprintf("serve: tenant %s %s, retry after %s", e.Tenant, reason, e.RetryAfter)
+	}
+	return fmt.Sprintf("serve: %s, retry after %s", reason, e.RetryAfter)
 }
 
 // ErrDraining rejects submissions during shutdown.
@@ -250,6 +278,11 @@ func New(opt Options) (*Server, error) {
 		}
 		s.artifacts = store
 	}
+	if opt.Tenants != nil && opt.UsagePath != "" {
+		if err := s.loadUsage(opt.UsagePath); err != nil {
+			return nil, err
+		}
+	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
@@ -262,6 +295,9 @@ func (s *Server) Cache() *Cache { return s.cache }
 
 // Events exposes the lifecycle event log (nil when disabled).
 func (s *Server) Events() *svclog.EventLog { return s.opt.Events }
+
+// Tenants exposes the tenant registry (nil in anonymous mode).
+func (s *Server) Tenants() *Tenants { return s.opt.Tenants }
 
 // Log exposes the service logger (never nil after New).
 func (s *Server) Log() *slog.Logger { return s.opt.Log }
@@ -296,13 +332,19 @@ func (s *Server) eventLocked(j *Job, kind svclog.JobEventKind, config int, cycle
 		Running:       s.running,
 		Config:        config,
 		Cycles:        cycles,
+		Tenant:        j.spec.Tenant,
 		Detail:        detail,
 	})
 }
 
 // Submit admits spec or rejects it. Rejections are immediate and typed:
-// *BusyError when the admission window is full, ErrDraining during
-// shutdown, a validation error for an empty or malformed spec.
+// *BusyError when the admission window (or a tenant quota) is full,
+// *ForbiddenError for a submission above the tenant's priority ceiling,
+// ErrDraining during shutdown, a validation error for an empty or malformed
+// spec. With a tenant registry configured, spec.Tenant must name a
+// registered tenant and the tenant's gates run before the shared window —
+// a throttled tenant is pushed back with its own Retry-After and never
+// consumes shared admission capacity; in anonymous mode it must be empty.
 func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	if len(spec.Configs) == 0 {
 		return JobStatus{}, errors.New("serve: job has no configurations")
@@ -312,19 +354,55 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 			return JobStatus{}, fmt.Errorf("serve: config %d missing arch or app", i)
 		}
 	}
+	reg := s.opt.Tenants
+	if reg == nil {
+		spec.Tenant = ""
+	} else if spec.Tenant == "" {
+		return JobStatus{}, errors.New("serve: submission names no tenant")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected++
-		s.opt.Log.Warn("job_rejected", "reason", "draining", "name", spec.Name)
+		if reg != nil {
+			reg.rejectedWindow(spec.Tenant)
+			s.opt.Log.Warn("job_rejected", "reason", "draining", "name", spec.Name, "tenant", spec.Tenant)
+		} else {
+			s.opt.Log.Warn("job_rejected", "reason", "draining", "name", spec.Name)
+		}
 		return JobStatus{}, ErrDraining
+	}
+	if reg != nil {
+		if err := reg.gate(spec.Tenant, spec.Priority, s.opt.Workers, s.ewmaJobSec); err != nil {
+			var be *BusyError
+			switch {
+			case errors.As(err, &be):
+				s.rejected++
+				s.opt.Log.Warn("job_rejected", "reason", be.Reason, "tenant", spec.Tenant,
+					"name", spec.Name, "retry_after_sec", int(be.RetryAfter/time.Second))
+			default:
+				s.opt.Log.Warn("job_rejected", "reason", "forbidden", "tenant", spec.Tenant,
+					"name", spec.Name, "err", err.Error())
+			}
+			return JobStatus{}, err
+		}
 	}
 	if len(s.queue) >= s.opt.QueueLimit {
 		s.rejected++
 		retry := s.retryAfterLocked()
+		if reg != nil {
+			reg.rejectedWindow(spec.Tenant)
+			s.opt.Log.Warn("job_rejected", "reason", RejectWindow,
+				"name", spec.Name, "tenant", spec.Tenant,
+				"queue_depth", len(s.queue), "retry_after_sec", int(retry/time.Second))
+			return JobStatus{}, &BusyError{RetryAfter: retry, Tenant: spec.Tenant, Reason: RejectWindow}
+		}
 		s.opt.Log.Warn("job_rejected", "reason", "admission window full",
 			"name", spec.Name, "queue_depth", len(s.queue), "retry_after_sec", int(retry/time.Second))
 		return JobStatus{}, &BusyError{RetryAfter: retry}
+	}
+	if reg != nil {
+		reg.commit(spec.Tenant)
 	}
 	s.seq++
 	j := &Job{
@@ -353,8 +431,13 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, error) {
 	s.queue.push(j)
 	s.submitted++
 	s.eventLocked(j, svclog.EvQueued, -1, 0, "")
-	s.opt.Log.Info("job_submitted", "job", j.id, "name", spec.Name,
-		"configs", len(spec.Configs), "priority", spec.Priority, "queue_depth", len(s.queue))
+	if spec.Tenant != "" {
+		s.opt.Log.Info("job_submitted", "job", j.id, "name", spec.Name, "tenant", spec.Tenant,
+			"configs", len(spec.Configs), "priority", spec.Priority, "queue_depth", len(s.queue))
+	} else {
+		s.opt.Log.Info("job_submitted", "job", j.id, "name", spec.Name,
+			"configs", len(spec.Configs), "priority", spec.Priority, "queue_depth", len(s.queue))
+	}
 	s.cond.Signal()
 	return s.statusLocked(j), nil
 }
@@ -401,6 +484,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		Simulated:   j.simulated,
 		Joins:       j.joins,
 		Telemetry:   j.telemetry,
+		Tenant:      j.spec.Tenant,
 		SubmittedAt: j.submitted,
 	}
 	if j.err != nil {
@@ -489,6 +573,8 @@ type ServerStats struct {
 	Events svclog.EventLogStats `json:"events"`
 	// Artifacts is the flight-recorder store's state (zero when disabled).
 	Artifacts ArtifactStats `json:"artifacts"`
+	// Tenants is the per-tenant state (empty in anonymous mode).
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -516,7 +602,20 @@ func (s *Server) Stats() ServerStats {
 	if s.artifacts != nil {
 		st.Artifacts = s.artifacts.Stats()
 	}
+	if s.opt.Tenants != nil {
+		st.Tenants = s.opt.Tenants.Snapshot()
+	}
 	return st
+}
+
+// tenantAccount applies fn to j's tenant's usage counters (no-op in
+// anonymous mode). The per-tenant increments are made at the same points as
+// their global counterparts, which is what makes the per-tenant Prometheus
+// counters sum exactly to the globals when every job is tenant-attributed.
+func (s *Server) tenantAccount(j *Job, fn func(u *TenantUsage)) {
+	if s.opt.Tenants != nil && j.spec.Tenant != "" {
+		s.opt.Tenants.account(j.spec.Tenant, fn)
+	}
 }
 
 // worker pulls the highest-priority queued job and runs it to completion.
@@ -535,6 +634,9 @@ func (s *Server) worker() {
 		j.state = JobRunning
 		j.started = time.Now()
 		s.running++
+		if s.opt.Tenants != nil && j.spec.Tenant != "" {
+			s.opt.Tenants.started(j.spec.Tenant)
+		}
 		s.eventLocked(j, svclog.EvStarted, -1, 0, "")
 		s.mu.Unlock()
 		s.runJob(j)
@@ -571,11 +673,17 @@ func (s *Server) runJob(j *Job) {
 			j.cacheHits++
 			s.eventLocked(j, svclog.EvCacheHit, i, 0, "")
 			s.mu.Unlock()
+			s.tenantAccount(j, func(u *TenantUsage) {
+				u.CacheHits++
+				u.ResultBytes += uint64(len(js))
+			})
 		case owner:
 			toRun = append(toRun, i)
+			s.tenantAccount(j, func(u *TenantUsage) { u.CacheMisses++ })
 			_ = fl // resolved via cache.Fulfill/Abort below
 		default:
 			joins = append(joins, join{i: i, fl: fl})
+			s.tenantAccount(j, func(u *TenantUsage) { u.Joins++ })
 		}
 	}
 
@@ -598,6 +706,7 @@ func (s *Server) runJob(j *Job) {
 		j.joins++
 		s.eventLocked(j, svclog.EvJoined, w.i, 0, "")
 		s.mu.Unlock()
+		s.tenantAccount(j, func(u *TenantUsage) { u.ResultBytes += uint64(len(w.fl.js)) })
 	}
 
 	if jobErr == nil && j.metrics != nil {
@@ -619,17 +728,25 @@ func (s *Server) runJob(j *Job) {
 		j.err = jobErr
 		s.jobsFailed++
 		s.eventLocked(j, svclog.EvFailed, -1, 0, jobErr.Error())
-		s.opt.Log.Error("job_failed", "job", j.id, "name", j.spec.Name,
-			"err", jobErr.Error(), "wall_us", j.finished.Sub(j.submitted).Microseconds())
+		args := []any{"job", j.id, "name", j.spec.Name,
+			"err", jobErr.Error(), "wall_us", j.finished.Sub(j.submitted).Microseconds()}
+		if j.spec.Tenant != "" {
+			args = append(args, "tenant", j.spec.Tenant)
+		}
+		s.opt.Log.Error("job_failed", args...)
 	} else {
 		j.state = JobDone
 		j.results = results
 		j.resultJSON = resJSON
 		s.jobsDone++
 		s.eventLocked(j, svclog.EvDone, -1, 0, "")
-		s.opt.Log.Info("job_done", "job", j.id, "name", j.spec.Name,
+		args := []any{"job", j.id, "name", j.spec.Name,
 			"cache_hits", j.cacheHits, "simulated", j.simulated, "joins", j.joins,
-			"wall_us", j.finished.Sub(j.submitted).Microseconds())
+			"wall_us", j.finished.Sub(j.submitted).Microseconds()}
+		if j.spec.Tenant != "" {
+			args = append(args, "tenant", j.spec.Tenant)
+		}
+		s.opt.Log.Info("job_done", args...)
 	}
 	// EWMA of job wall time feeds the retry-after estimate.
 	sec := j.finished.Sub(j.started).Seconds()
@@ -639,6 +756,9 @@ func (s *Server) runJob(j *Job) {
 		s.ewmaJobSec = 0.7*s.ewmaJobSec + 0.3*sec
 	}
 	s.mu.Unlock()
+	if s.opt.Tenants != nil && j.spec.Tenant != "" {
+		s.opt.Tenants.finished(j.spec.Tenant, jobErr != nil, sec)
+	}
 	close(j.doneCh)
 }
 
@@ -711,6 +831,11 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 			s.eventLocked(j, svclog.EvSimulated, i, uint64(r.Breakdown.Exec), "")
 			s.eventLocked(j, svclog.EvPersisted, i, 0, "")
 			s.mu.Unlock()
+			s.tenantAccount(j, func(u *TenantUsage) {
+				u.SimulatedRuns++
+				u.EngineCycles += uint64(r.Breakdown.Exec)
+				u.ResultBytes += uint64(len(js))
+			})
 		}
 		_, err := s.opt.Run(cfgs, onResult)
 		if err != nil && firstErr == nil {
@@ -747,6 +872,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		j.err = ErrDraining
 		j.finished = time.Now()
 		s.jobsAborted++
+		if s.opt.Tenants != nil && j.spec.Tenant != "" {
+			s.opt.Tenants.aborted(j.spec.Tenant)
+		}
 		s.eventLocked(j, svclog.EvAborted, -1, 0, ErrDraining.Error())
 		close(j.doneCh)
 	}
@@ -771,6 +899,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.artifacts != nil {
 		if err := s.artifacts.SaveIndex(); err != nil && waitErr == nil {
+			waitErr = err
+		}
+	}
+	if s.opt.Tenants != nil && s.opt.UsagePath != "" {
+		if err := s.saveUsage(s.opt.UsagePath); err != nil && waitErr == nil {
 			waitErr = err
 		}
 	}

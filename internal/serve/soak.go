@@ -11,6 +11,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -49,6 +50,22 @@ type SoakOptions struct {
 	Wait time.Duration
 	// Poll is the status poll interval (default 20ms).
 	Poll time.Duration
+
+	// APIKey authenticates the storm against a daemon running with
+	// -tenants-file (empty = anonymous daemon).
+	APIKey string
+	// NoisyKey enables the multi-tenant isolation scenario: a second,
+	// quota-bounded "noisy" tenant storms the daemon concurrently with
+	// NoisyJobs submissions, and the report's SLO assertions still apply to
+	// the main (quiet) tenant only — proof the quiet tenant's latency holds
+	// while the noisy one absorbs bounded 429 pushback.
+	NoisyKey string
+	// NoisyJobs is the noisy tenant's submission count (default 32).
+	NoisyJobs int
+	// RequireThrottle asserts the noisy tenant was throttled at least once
+	// (429 absorbed or submission finally rejected) — proof its quota
+	// actually bit during the storm.
+	RequireThrottle bool
 }
 
 func (o SoakOptions) withDefaults() SoakOptions {
@@ -69,6 +86,9 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	}
 	if o.Poll <= 0 {
 		o.Poll = 20 * time.Millisecond
+	}
+	if o.NoisyKey != "" && o.NoisyJobs <= 0 {
+		o.NoisyJobs = 32
 	}
 	return o
 }
@@ -94,6 +114,15 @@ type SoakReport struct {
 
 	EventChains int `json:"event_chains_validated"`
 
+	// Noisy-tenant scenario counters (NoisyKey set): the noisy tenant's
+	// submissions, how many completed, and how often the daemon pushed it
+	// back (429s absorbed plus submissions that never got in). The quiet
+	// tenant's SLOs above are asserted regardless of these.
+	NoisyJobs      int `json:"noisy_jobs,omitempty"`
+	NoisyDone      int `json:"noisy_done,omitempty"`
+	NoisyThrottled int `json:"noisy_throttled,omitempty"`
+	NoisyRejected  int `json:"noisy_rejected,omitempty"`
+
 	Violations []string `json:"violations,omitempty"`
 }
 
@@ -113,6 +142,10 @@ func (r *SoakReport) Summary() string {
 		r.Jobs, r.Done, r.Failed, r.Rejected, r.Retry429s,
 		r.SubmitP99US, r.StatusP99US,
 		r.DistinctConfigs, r.SimulatedRuns, r.EventChains)
+	if r.NoisyJobs > 0 {
+		s += fmt.Sprintf("      noisy tenant: %d jobs (%d done, %d rejected), throttled %d times\n",
+			r.NoisyJobs, r.NoisyDone, r.NoisyRejected, r.NoisyThrottled)
+	}
 	if r.OK() {
 		return s + "      SLOs held\n"
 	}
@@ -131,6 +164,7 @@ func RunSoak(addr string, opt SoakOptions) (*SoakReport, error) {
 		return nil, fmt.Errorf("soak: no job specs")
 	}
 	c := NewClient(addr)
+	c.APIKey = opt.APIKey
 	before, err := c.Stats()
 	if err != nil {
 		return nil, fmt.Errorf("soak: daemon unreachable: %w", err)
@@ -147,6 +181,47 @@ func RunSoak(addr string, opt SoakOptions) (*SoakReport, error) {
 	)
 	ctx, cancel := context.WithTimeout(context.Background(), opt.Wait)
 	defer cancel()
+
+	// The noisy tenant storms concurrently with the quiet clients below; its
+	// latencies never touch the quiet histograms, so the SLO assertions
+	// measure isolation, not the noise itself. Quota pushback (429 after 429)
+	// is the expected outcome for it — only non-Busy failures are violations.
+	var noisyWG sync.WaitGroup
+	if opt.NoisyKey != "" {
+		rep.NoisyJobs = opt.NoisyJobs
+		nc := NewClient(addr)
+		nc.APIKey = opt.NoisyKey
+		noisyWG.Add(1)
+		go func() {
+			defer noisyWG.Done()
+			var ids []string
+			for j := 0; j < opt.NoisyJobs; j++ {
+				spec := opt.Specs[j%len(opt.Specs)]
+				spec.Name = fmt.Sprintf("soak-noisy-%d", j)
+				st, retries, err := nc.SubmitRetry(ctx, spec, opt.MaxRetries, opt.RetrySleepCap)
+				mu.Lock()
+				rep.NoisyThrottled += retries
+				if err != nil {
+					rep.NoisyRejected++
+					var be *BusyError
+					if !errors.As(err, &be) && ctx.Err() == nil {
+						rep.violate("noisy submit %s: %v", spec.Name, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Unlock()
+				ids = append(ids, st.ID)
+			}
+			for _, id := range ids {
+				if st, err := nc.Wait(ctx, id, opt.Poll); err == nil && st.State == JobDone {
+					mu.Lock()
+					rep.NoisyDone++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for cl := 0; cl < opt.Clients; cl++ {
@@ -194,6 +269,11 @@ func RunSoak(addr string, opt SoakOptions) (*SoakReport, error) {
 		}(cl)
 	}
 	wg.Wait()
+	noisyWG.Wait()
+
+	if opt.RequireThrottle && rep.NoisyThrottled+rep.NoisyRejected == 0 {
+		rep.violate("noisy tenant was never throttled (%d jobs all admitted first try)", rep.NoisyJobs)
+	}
 
 	rep.SubmitP99US = int64(submitHist.Percentile(0.99))
 	rep.StatusP99US = int64(statusHist.Percentile(0.99))

@@ -42,7 +42,7 @@ func TestHTTPSSEResumeAfterRingEviction(t *testing.T) {
 	var got []svclog.JobEvent
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	_, err := c.StreamEvents(ctx, staleCursor, "", func(ev svclog.JobEvent) {
+	_, err := c.StreamEvents(ctx, staleCursor, "", "", func(ev svclog.JobEvent) {
 		got = append(got, ev)
 		if ev.Job == lastJob && ev.Kind == svclog.EvDone {
 			cancel()

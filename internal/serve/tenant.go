@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tenant identity and attribution (DESIGN.md §14). A Tenants registry is the
+// service's multi-tenant edge: API-key authentication (constant-time), a
+// per-tenant token bucket and concurrency/queue quotas gating admission in
+// front of the shared window, and per-tenant usage accounting feeding the
+// /metrics.prom tenant label dimension and the persisted usage ledger.
+//
+// The tenant set is fixed at startup from the tenants file, which is what
+// bounds the `tenant` label cardinality in the Prometheus exposition: labels
+// only ever take values from that finite, operator-controlled list.
+
+// Tenant is one registered identity, as declared in the tenants file.
+type Tenant struct {
+	// Name is the tenant's stable identifier; it becomes the `tenant` label
+	// value in metrics, the tenant= key in logs and events, and the path
+	// element of /api/v1/tenants/{name}/usage.
+	Name string `json:"name"`
+	// Key is the tenant's API key (Authorization: Bearer <key> or
+	// X-API-Key). Compared in constant time; never exposed by any endpoint.
+	Key string `json:"key"`
+	// MaxPriority caps JobSpec.Priority: a submission above the ceiling is
+	// rejected with 403 (0 = only priority 0 allowed; negative priorities
+	// always pass).
+	MaxPriority int `json:"max_priority,omitempty"`
+	// RatePerSec refills the tenant's token bucket: sustained submissions
+	// per second (0 = no rate limit).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity (default: RatePerSec rounded up, minimum
+	// 1). Ignored when RatePerSec is 0.
+	Burst int `json:"burst,omitempty"`
+	// MaxQueued bounds the tenant's jobs waiting to run (0 = only the shared
+	// admission window applies).
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxActive bounds the tenant's queued+running jobs (0 = unbounded).
+	MaxActive int `json:"max_active,omitempty"`
+}
+
+// TenantUsage is one tenant's resource-consumption counters. The same shape
+// serves two horizons: the process-lifetime counters behind the per-tenant
+// Prometheus families (which sum exactly to the global counters), and the
+// cumulative ledger persisted across restarts.
+type TenantUsage struct {
+	Requests uint64 `json:"requests"`
+
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsAborted   uint64 `json:"jobs_aborted"`
+
+	RejectedRate        uint64 `json:"rejected_rate"`
+	RejectedQueueQuota  uint64 `json:"rejected_queue_quota"`
+	RejectedActiveQuota uint64 `json:"rejected_active_quota"`
+	RejectedWindow      uint64 `json:"rejected_window"`
+
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Joins       uint64 `json:"singleflight_joins"`
+
+	SimulatedRuns uint64 `json:"simulated_runs"`
+	EngineCycles  uint64 `json:"engine_cycles"`
+
+	ResultBytes   uint64 `json:"result_bytes"`
+	ArtifactBytes uint64 `json:"artifact_bytes"`
+}
+
+// add accumulates o into u (ledger merge).
+func (u *TenantUsage) add(o TenantUsage) {
+	u.Requests += o.Requests
+	u.JobsSubmitted += o.JobsSubmitted
+	u.JobsDone += o.JobsDone
+	u.JobsFailed += o.JobsFailed
+	u.JobsAborted += o.JobsAborted
+	u.RejectedRate += o.RejectedRate
+	u.RejectedQueueQuota += o.RejectedQueueQuota
+	u.RejectedActiveQuota += o.RejectedActiveQuota
+	u.RejectedWindow += o.RejectedWindow
+	u.CacheHits += o.CacheHits
+	u.CacheMisses += o.CacheMisses
+	u.Joins += o.Joins
+	u.SimulatedRuns += o.SimulatedRuns
+	u.EngineCycles += o.EngineCycles
+	u.ResultBytes += o.ResultBytes
+	u.ArtifactBytes += o.ArtifactBytes
+}
+
+// Rejected is the tenant's total rejection count across all reasons.
+func (u TenantUsage) Rejected() uint64 {
+	return u.RejectedRate + u.RejectedQueueQuota + u.RejectedActiveQuota + u.RejectedWindow
+}
+
+// TenantSnapshot is the wire view of one tenant: declared quotas, live
+// scheduling state, and both usage horizons. The key is never included.
+type TenantSnapshot struct {
+	Name        string  `json:"name"`
+	MaxPriority int     `json:"max_priority,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Burst       int     `json:"burst,omitempty"`
+	MaxQueued   int     `json:"max_queued,omitempty"`
+	MaxActive   int     `json:"max_active,omitempty"`
+
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+
+	// Usage counts this daemon process's activity; these are the counters
+	// behind the per-tenant Prometheus families, and across all tenants they
+	// sum exactly to the global counters. Total adds the ledger restored
+	// from a previous process: the tenant's cumulative, restart-surviving
+	// consumption.
+	Usage TenantUsage `json:"usage"`
+	Total TenantUsage `json:"total"`
+}
+
+// Admission-rejection reasons, used as BusyError.Reason and as the `reason`
+// label on aggsimd_tenant_rejected_total.
+const (
+	RejectWindow      = "admission window full"
+	RejectRate        = "rate limited"
+	RejectQueueQuota  = "queue quota exceeded"
+	RejectActiveQuota = "concurrency quota exceeded"
+)
+
+// ForbiddenError rejects a submission the tenant is authenticated but not
+// authorized to make (today: priority above the tenant's ceiling). The HTTP
+// layer maps it to 403.
+type ForbiddenError struct {
+	Tenant string
+	Msg    string
+}
+
+func (e *ForbiddenError) Error() string {
+	return fmt.Sprintf("serve: tenant %s: %s", e.Tenant, e.Msg)
+}
+
+// tenantState is one tenant's live scheduling and accounting state, guarded
+// by the registry mutex.
+type tenantState struct {
+	t Tenant
+
+	queued     int
+	running    int
+	ewmaJobSec float64
+
+	// Token bucket: tokens refill continuously at RatePerSec up to Burst;
+	// each admitted submission consumes one.
+	tokens     float64
+	lastRefill time.Time
+
+	usage TenantUsage // this process
+	base  TenantUsage // restored ledger from previous processes
+}
+
+// Tenants is the registry: the fixed tenant set plus per-tenant live state.
+// Lock order: Server.mu may be held when registry methods are called, never
+// the reverse.
+type Tenants struct {
+	mu     sync.Mutex
+	order  []string
+	states map[string]*tenantState
+	now    func() time.Time // test seam for the token bucket
+}
+
+// tenantsFile is the on-disk shape of the -tenants-file.
+type tenantsFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// LoadTenants reads and validates a tenants file: {"tenants":[{...}]}.
+func LoadTenants(path string) (*Tenants, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file: %w", err)
+	}
+	var tf tenantsFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	if len(tf.Tenants) == 0 {
+		return nil, fmt.Errorf("serve: tenants file %s declares no tenants", path)
+	}
+	reg, err := NewTenants(tf.Tenants)
+	if err != nil {
+		return nil, fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	return reg, nil
+}
+
+// NewTenants builds a registry from a validated tenant list: names and keys
+// must be unique, names non-empty, keys at least 8 characters, and every
+// quota non-negative.
+func NewTenants(list []Tenant) (*Tenants, error) {
+	r := &Tenants{
+		states: make(map[string]*tenantState, len(list)),
+		now:    time.Now,
+	}
+	keys := make(map[string]string, len(list))
+	for i, t := range list {
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenant %d: empty name", i)
+		}
+		if _, dup := r.states[t.Name]; dup {
+			return nil, fmt.Errorf("tenant %q: duplicate name", t.Name)
+		}
+		if len(t.Key) < 8 {
+			return nil, fmt.Errorf("tenant %q: key shorter than 8 characters", t.Name)
+		}
+		if other, dup := keys[t.Key]; dup {
+			return nil, fmt.Errorf("tenant %q: key duplicates tenant %q", t.Name, other)
+		}
+		keys[t.Key] = t.Name
+		if t.RatePerSec < 0 || t.Burst < 0 || t.MaxQueued < 0 || t.MaxActive < 0 {
+			return nil, fmt.Errorf("tenant %q: negative quota", t.Name)
+		}
+		if t.RatePerSec > 0 && t.Burst == 0 {
+			t.Burst = int(t.RatePerSec)
+			if float64(t.Burst) < t.RatePerSec {
+				t.Burst++
+			}
+			if t.Burst < 1 {
+				t.Burst = 1
+			}
+		}
+		st := &tenantState{t: t}
+		if t.RatePerSec > 0 {
+			st.tokens = float64(t.Burst) // a fresh tenant starts with a full bucket
+		}
+		r.states[t.Name] = st
+		r.order = append(r.order, t.Name)
+	}
+	return r, nil
+}
+
+// Len returns the number of registered tenants.
+func (r *Tenants) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+// Names returns the tenant names in file order.
+func (r *Tenants) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}
+
+// Authenticate resolves an API key to a tenant name. Every registered key is
+// compared with crypto/subtle regardless of earlier matches, so the scan's
+// timing does not depend on which tenant (if any) matched; only key lengths
+// are observable, and keys are not secrets of each other's length. A hit
+// counts toward the tenant's request usage.
+func (r *Tenants) Authenticate(key string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kb := []byte(key)
+	match := ""
+	for _, name := range r.order {
+		if subtle.ConstantTimeCompare(kb, []byte(r.states[name].t.Key)) == 1 && match == "" {
+			match = name
+		}
+	}
+	if match == "" {
+		return "", false
+	}
+	r.states[match].usage.Requests++
+	return match, true
+}
+
+// refillLocked advances the token bucket to now.
+func (st *tenantState) refillLocked(now time.Time) {
+	if st.t.RatePerSec <= 0 {
+		return
+	}
+	if !st.lastRefill.IsZero() {
+		st.tokens += now.Sub(st.lastRefill).Seconds() * st.t.RatePerSec
+		if max := float64(st.t.Burst); st.tokens > max {
+			st.tokens = max
+		}
+	}
+	st.lastRefill = now
+}
+
+// retryAfterLocked estimates when the tenant's own backlog frees a slot:
+// its queued+running jobs per shared worker times its EWMA job duration
+// (falling back to the server-wide EWMA, then 1s), floored at one second.
+// This is the per-tenant Retry-After — a noisy tenant's pushback grows with
+// its own backlog, independent of the shared window's estimate.
+func (st *tenantState) retryAfterLocked(workers int, globalEwma float64) time.Duration {
+	per := st.ewmaJobSec
+	if per <= 0 {
+		per = globalEwma
+	}
+	if per <= 0 {
+		per = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	backlog := float64(st.queued+st.running+1) / float64(workers)
+	d := time.Duration(per * backlog * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d.Round(time.Second)
+}
+
+// gate checks the tenant's admission constraints without committing
+// anything: priority ceiling (403), token bucket, queue quota, concurrency
+// quota (each a per-tenant 429 carrying the tenant's own Retry-After).
+// Rejections are counted; a nil return means the submission may proceed to
+// the shared window, after which the caller commits.
+func (r *Tenants) gate(name string, priority, workers int, globalEwma float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[name]
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	if priority > st.t.MaxPriority {
+		return &ForbiddenError{
+			Tenant: name,
+			Msg:    fmt.Sprintf("priority %d above ceiling %d", priority, st.t.MaxPriority),
+		}
+	}
+	now := r.now()
+	st.refillLocked(now)
+	if st.t.RatePerSec > 0 && st.tokens < 1 {
+		st.usage.RejectedRate++
+		// Time until the bucket holds one token again.
+		wait := time.Duration((1 - st.tokens) / st.t.RatePerSec * float64(time.Second))
+		if wait < time.Second {
+			wait = time.Second
+		}
+		return &BusyError{RetryAfter: wait.Round(time.Second), Tenant: name, Reason: RejectRate}
+	}
+	if st.t.MaxQueued > 0 && st.queued >= st.t.MaxQueued {
+		st.usage.RejectedQueueQuota++
+		return &BusyError{
+			RetryAfter: st.retryAfterLocked(workers, globalEwma),
+			Tenant:     name, Reason: RejectQueueQuota,
+		}
+	}
+	if st.t.MaxActive > 0 && st.queued+st.running >= st.t.MaxActive {
+		st.usage.RejectedActiveQuota++
+		return &BusyError{
+			RetryAfter: st.retryAfterLocked(workers, globalEwma),
+			Tenant:     name, Reason: RejectActiveQuota,
+		}
+	}
+	return nil
+}
+
+// commit records an admission that passed both the tenant gate and the
+// shared window: consumes one token, counts the job as queued.
+func (r *Tenants) commit(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.states[name]
+	if st == nil {
+		return
+	}
+	if st.t.RatePerSec > 0 {
+		st.refillLocked(r.now())
+		if st.tokens >= 1 {
+			st.tokens--
+		} else {
+			st.tokens = 0
+		}
+	}
+	st.queued++
+	st.usage.JobsSubmitted++
+}
+
+// rejectedWindow counts a shared-window (or draining) rejection against the
+// tenant that caused it.
+func (r *Tenants) rejectedWindow(name string) {
+	r.account(name, func(u *TenantUsage) { u.RejectedWindow++ })
+}
+
+// started moves one of the tenant's jobs from queued to running.
+func (r *Tenants) started(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.states[name]; st != nil {
+		st.queued--
+		st.running++
+	}
+}
+
+// finished retires one running job and folds its wall time into the
+// tenant's EWMA (the basis of its personal Retry-After).
+func (r *Tenants) finished(name string, failed bool, sec float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.states[name]
+	if st == nil {
+		return
+	}
+	st.running--
+	if failed {
+		st.usage.JobsFailed++
+	} else {
+		st.usage.JobsDone++
+	}
+	if st.ewmaJobSec == 0 {
+		st.ewmaJobSec = sec
+	} else {
+		st.ewmaJobSec = 0.7*st.ewmaJobSec + 0.3*sec
+	}
+}
+
+// aborted retires one still-queued job during a drain.
+func (r *Tenants) aborted(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.states[name]; st != nil {
+		st.queued--
+		st.usage.JobsAborted++
+	}
+}
+
+// account applies fn to the tenant's process-lifetime usage counters.
+func (r *Tenants) account(name string, fn func(u *TenantUsage)) {
+	if name == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.states[name]; st != nil {
+		fn(&st.usage)
+	}
+}
+
+// Snapshot copies every tenant's state in file order.
+func (r *Tenants) Snapshot() []TenantSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.snapshotLocked(r.states[name]))
+	}
+	return out
+}
+
+// Get snapshots one tenant by name.
+func (r *Tenants) Get(name string) (TenantSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.states[name]
+	if !ok {
+		return TenantSnapshot{}, false
+	}
+	return r.snapshotLocked(st), true
+}
+
+func (r *Tenants) snapshotLocked(st *tenantState) TenantSnapshot {
+	total := st.base
+	total.add(st.usage)
+	return TenantSnapshot{
+		Name:        st.t.Name,
+		MaxPriority: st.t.MaxPriority,
+		RatePerSec:  st.t.RatePerSec,
+		Burst:       st.t.Burst,
+		MaxQueued:   st.t.MaxQueued,
+		MaxActive:   st.t.MaxActive,
+		Queued:      st.queued,
+		Running:     st.running,
+		Usage:       st.usage,
+		Total:       total,
+	}
+}
+
+// exportUsage returns each tenant's cumulative usage (restored base plus
+// this process), the shape the usage ledger persists.
+func (r *Tenants) exportUsage() map[string]TenantUsage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]TenantUsage, len(r.states))
+	for name, st := range r.states {
+		total := st.base
+		total.add(st.usage)
+		out[name] = total
+	}
+	return out
+}
+
+// restoreUsage installs a previously persisted ledger as each tenant's
+// base. Ledger entries for tenants no longer in the file are dropped (their
+// history ends with their registration).
+func (r *Tenants) restoreUsage(ledger map[string]TenantUsage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, u := range ledger {
+		if st := r.states[name]; st != nil {
+			st.base = u
+		}
+	}
+}
+
+// sortedUsageNames returns ledger keys in stable order (deterministic
+// persistence output).
+func sortedUsageNames(m map[string]TenantUsage) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -35,8 +35,21 @@ type (
 	// ServiceClient talks to an aggsimd daemon.
 	ServiceClient = serve.Client
 	// BusyError is the admission-control rejection, carrying a retry-after
-	// hint.
+	// hint (and, in tenant mode, which tenant and gate produced it).
 	BusyError = serve.BusyError
+	// ForbiddenError rejects an authenticated submission the tenant is not
+	// authorized to make (priority above its ceiling).
+	ForbiddenError = serve.ForbiddenError
+	// Tenant is one registered identity in the multi-tenant service edge.
+	Tenant = serve.Tenant
+	// TenantRegistry is the service's tenant set: API-key authentication,
+	// token buckets, quotas and usage accounting.
+	TenantRegistry = serve.Tenants
+	// TenantUsage is one tenant's resource-consumption counters.
+	TenantUsage = serve.TenantUsage
+	// TenantSnapshot is the wire view of one tenant (quotas, live state,
+	// usage; never the key).
+	TenantSnapshot = serve.TenantSnapshot
 	// JobState is a job's lifecycle state.
 	JobState = serve.JobState
 	// JobEvent is one typed entry in a job's lifecycle event chain.
@@ -104,6 +117,21 @@ const (
 // NewEventLog returns a lifecycle event log retaining the last cap events
 // globally (complete chains are kept per job); cap <= 0 picks the default.
 func NewEventLog(cap int) *EventLog { return svclog.NewEventLog(cap) }
+
+// LoadTenants reads and validates a tenants file ({"tenants":[{...}]}),
+// returning the registry to hand to ServerOptions.Tenants.
+func LoadTenants(path string) (*TenantRegistry, error) { return serve.LoadTenants(path) }
+
+// NewTenants builds a tenant registry from an in-memory tenant list (tests,
+// embedded configuration). Same validation as LoadTenants.
+func NewTenants(list []Tenant) (*TenantRegistry, error) { return serve.NewTenants(list) }
+
+// ValidateLogLevel rejects a log-level string NewServiceLogger would fall
+// back from: anything but "debug", "info", "warn", "error" or empty.
+func ValidateLogLevel(level string) error {
+	_, err := svclog.ParseLevel(level)
+	return err
+}
 
 // NewServiceLogger builds the service's structured JSON logger. level is
 // "debug", "info", "warn" or "error" (empty means info); deterministic drops
