@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke telemetry-smoke tenant-smoke bench-diff
+.PHONY: build test race race-hot vet bench bench-smoke ci figures-output audit check-stats bench-json serve-smoke soak-smoke speedup-smoke telemetry-smoke tenant-smoke cluster-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -99,6 +99,15 @@ telemetry-smoke:
 # daemon against the persisted usage ledger.
 tenant-smoke:
 	$(GO) test -race -count 1 -run 'TestTenantSmoke|TestTenantFlagHygiene' -v ./cmd/aggsimd
+
+# cluster-smoke is the multi-node gate, run under the race detector: a
+# 3-node in-process cluster (gossip membership, consistent-hash ownership,
+# replication, work stealing) byte-compared against a single-node reference,
+# with the exactly-once proof (cluster-wide engine-run counters equal the
+# distinct key count) held through a node kill and restart, and steal
+# counters balancing at quiescence.
+cluster-smoke:
+	$(GO) test -race -count 1 -run 'TestCluster' -v ./internal/cluster/harness
 
 # bench-json snapshots simulator wall-clock throughput into a dated JSON
 # file; committing snapshots over time tracks the perf trajectory.

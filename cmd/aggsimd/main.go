@@ -12,6 +12,8 @@
 //	        [-telemetry-sample 0] [-artifact-dir DIR] [-artifact-bytes 64MiB]
 //	        [-drain-timeout 30s] [-log stderr|off|PATH] [-log-level info]
 //	        [-tenants-file tenants.json] [-usage-file aggsimd.usage]
+//	        [-tenants-reload 0] [-cluster-name NAME -peers host:port,...]
+//	        [-advertise host:port] [-replicas 2]
 //
 // -workers bounds concurrently running jobs; -sweep-workers bounds the
 // simulations one job runs in parallel (0 = GOMAXPROCS divided across the
@@ -48,6 +50,22 @@
 // across restarts, atomically on graceful shutdown like the cache index.
 // Tenancy is record-only for the simulator: results stay byte-identical
 // with it on or off.
+//
+// The tenants file hot-reloads without a restart: SIGHUP re-reads it
+// immediately, and -tenants-reload N polls its mtime every N (for process
+// managers that cannot signal). A reload is all-or-nothing — a malformed
+// file is rejected loudly and the old registry keeps serving; a revoked key
+// gets 401 on its next request after a successful swap.
+//
+// Cluster mode (-cluster-name NAME -peers a:1,b:2, DESIGN.md §15): N
+// daemons form a named cluster — gossip membership over the seed list,
+// consistent-hash ownership of the content-addressed key space, forwarding
+// of non-owned keys to their owner, replication of completed results to
+// -replicas ring successors, and work stealing by idle nodes. Any node is a
+// full front door: submit anywhere, the cluster routes. -advertise overrides
+// the address peers use to reach this node (default: the bound -addr).
+// Without -cluster-name the daemon is byte-identical to a single-node build;
+// membership changes never change result bytes, only where they compute.
 //
 // The daemon serves the obs dashboard routes (/, /debug/vars,
 // /debug/pprof/) next to the API; /healthz reports liveness and /readyz
@@ -144,6 +162,11 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn, error")
 	tenantsFile := fs.String("tenants-file", "", "enable multi-tenant mode: JSON file declaring tenants, keys and quotas")
 	usageFile := fs.String("usage-file", "", "persist the per-tenant usage ledger to this file across restarts")
+	tenantsReload := fs.Duration("tenants-reload", 0, "poll the tenants file for changes at this interval and hot-reload it (0 = SIGHUP only)")
+	clusterName := fs.String("cluster-name", "", "join the named cluster (requires -peers)")
+	peers := fs.String("peers", "", "comma-separated seed peer addresses (host:port) for cluster bootstrap")
+	advertise := fs.String("advertise", "", "address peers reach this node at (default: the bound -addr)")
+	replicas := fs.Int("replicas", 2, "ring successors receiving a copy of each completed result")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -154,8 +177,21 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(stderr, "aggsimd: -log-level:", err)
 		return 2
 	}
+	if (*clusterName == "") != (*peers == "") {
+		fmt.Fprintln(stderr, "aggsimd: -cluster-name and -peers must be set together")
+		return 2
+	}
+	if *clusterName == "" && *advertise != "" {
+		fmt.Fprintln(stderr, "aggsimd: -advertise requires -cluster-name and -peers")
+		return 2
+	}
+	if *tenantsReload != 0 && *tenantsFile == "" {
+		fmt.Fprintln(stderr, "aggsimd: -tenants-reload requires -tenants-file")
+		return 2
+	}
 
 	var tenants *pimdsm.TenantRegistry
+	var tenantsFi os.FileInfo
 	if *tenantsFile != "" {
 		var err error
 		tenants, err = pimdsm.LoadTenants(*tenantsFile)
@@ -165,6 +201,10 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 			fmt.Fprintln(stderr, "aggsimd: -tenants-file:", err)
 			return 1
 		}
+		// The reload poll's baseline must be captured here, next to the load
+		// it describes — capturing it after the server is up would swallow a
+		// rewrite that lands between readiness and the first poll.
+		tenantsFi, _ = os.Stat(*tenantsFile)
 	} else if *usageFile != "" {
 		fmt.Fprintln(stderr, "aggsimd: -usage-file requires -tenants-file")
 		return 2
@@ -229,6 +269,38 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		return 1
 	}
 	fmt.Fprintf(stderr, "aggsimd: listening on http://%s/ (API under /api/v1/)\n", bound)
+
+	// Cluster mode: the membership node advertises the bound address unless
+	// the operator gave a reachable override (NAT, DNS). Attached after the
+	// listener is up so the first heartbeat a seed sends back finds a live
+	// endpoint.
+	if *clusterName != "" {
+		self := *advertise
+		if self == "" {
+			self = bound
+		}
+		var seeds []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				seeds = append(seeds, p)
+			}
+		}
+		node, err := pimdsm.NewClusterNode(pimdsm.ClusterConfig{
+			Name:     *clusterName,
+			Self:     self,
+			Seeds:    seeds,
+			Replicas: *replicas,
+			Log:      svcLog,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "aggsimd: cluster:", err)
+			closeHTTP()
+			return 1
+		}
+		srv.AttachCluster(node)
+		fmt.Fprintf(stderr, "aggsimd: cluster %q: advertising %s, %d seeds, %d replicas\n",
+			*clusterName, self, len(node.Members())-1, *replicas)
+	}
 	notifyListening(bound)
 
 	// Mirror the service counters into the dashboard index page.
@@ -266,7 +338,62 @@ func realMain(args []string, stderr io.Writer, stop <-chan os.Signal) int {
 		}
 	}()
 
-	sig := <-stop
+	// Tenants hot-reload: SIGHUP always works in tenant mode; -tenants-reload
+	// adds an mtime poll for platforms and process managers that cannot
+	// signal. Reload is all-or-nothing — a malformed file is rejected loudly
+	// and the running registry keeps serving the old tenant set; a revoked
+	// key stops authenticating on the request after a successful swap.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	reloadTenants := func(trigger string) {
+		if tenants == nil {
+			return
+		}
+		if err := tenants.ReloadFile(*tenantsFile); err != nil {
+			fmt.Fprintf(stderr, "aggsimd: tenants reload (%s) rejected, keeping previous registry: %v\n", trigger, err)
+			srv.Log().Error("tenants_reload_rejected", "trigger", trigger, "err", err.Error())
+			return
+		}
+		fmt.Fprintf(stderr, "aggsimd: tenants reloaded (%s): %d tenants, generation %d\n",
+			trigger, tenants.Len(), tenants.Generation())
+		srv.Log().Info("tenants_reloaded", "trigger", trigger,
+			"tenants", tenants.Len(), "generation", tenants.Generation())
+	}
+	var pollC <-chan time.Time
+	lastFi := tenantsFi
+	if *tenantsReload > 0 && tenants != nil {
+		poll := time.NewTicker(*tenantsReload)
+		defer poll.Stop()
+		pollC = poll.C
+	}
+
+	var sig os.Signal
+wait:
+	for {
+		select {
+		case <-hup:
+			reloadTenants("SIGHUP")
+		case <-pollC:
+			fi, err := os.Stat(*tenantsFile)
+			if err != nil {
+				fmt.Fprintf(stderr, "aggsimd: tenants reload (poll): %v\n", err)
+				continue
+			}
+			// mtime alone is not enough: an atomic rename can land within
+			// the same coarse-clock tick as the previous write, leaving the
+			// timestamp (and even the size) unchanged. The inode identity
+			// (os.SameFile) catches every rename-style replacement.
+			if lastFi != nil && os.SameFile(lastFi, fi) &&
+				fi.ModTime().Equal(lastFi.ModTime()) && fi.Size() == lastFi.Size() {
+				continue
+			}
+			lastFi = fi
+			reloadTenants("poll")
+		case sig = <-stop:
+			break wait
+		}
+	}
 	fmt.Fprintf(stderr, "aggsimd: %v, draining (timeout %s)\n", sig, *drainTimeout)
 	close(statsDone)
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)

@@ -22,6 +22,7 @@ type daemon struct {
 	addr string
 	stop chan os.Signal
 	exit chan int
+	logs *bytes.Buffer
 }
 
 func startDaemon(t *testing.T, args ...string) *daemon {
@@ -31,9 +32,9 @@ func startDaemon(t *testing.T, args ...string) *daemon {
 	notifyListening = func(addr string) { addrCh <- addr }
 	t.Cleanup(func() { notifyListening = prev })
 
-	d := &daemon{stop: make(chan os.Signal, 1), exit: make(chan int, 1)}
-	var logs bytes.Buffer
-	go func() { d.exit <- realMain(args, &logs, d.stop) }()
+	d := &daemon{stop: make(chan os.Signal, 1), exit: make(chan int, 1), logs: &bytes.Buffer{}}
+	logs := d.logs
+	go func() { d.exit <- realMain(args, logs, d.stop) }()
 	select {
 	case d.addr = <-addrCh:
 	case code := <-d.exit:

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// testNode wires a Node to a real loopback HTTP server whose address is also
+// the node's advertise address, so Tick()-driven gossip works end to end
+// without timers.
+type testNode struct {
+	n   *Node
+	srv *httptest.Server
+}
+
+func startTestNode(t *testing.T, name string, seeds []string, tweak func(*Config)) *testNode {
+	t.Helper()
+	mux := http.NewServeMux()
+	srv := httptest.NewServer(mux)
+	cfg := Config{
+		Name:           name,
+		Self:           srv.Listener.Addr().String(),
+		Seeds:          seeds,
+		HeartbeatEvery: 10 * time.Millisecond,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.HandleFunc("POST /api/v1/cluster/heartbeat", n.HandleHeartbeat)
+	tn := &testNode{n: n, srv: srv}
+	t.Cleanup(func() { srv.Close() })
+	return tn
+}
+
+// Discovery is transitive: A seeds B, B seeds C — after a few synchronous
+// gossip rounds all three know all three and agree on ownership.
+func TestMembershipTransitiveDiscovery(t *testing.T) {
+	a := startTestNode(t, "t", nil, nil)
+	b := startTestNode(t, "t", []string{a.n.Self()}, nil)
+	c := startTestNode(t, "t", []string{b.n.Self()}, nil)
+	for i := 0; i < 4; i++ {
+		a.n.Tick()
+		b.n.Tick()
+		c.n.Tick()
+	}
+	for _, tn := range []*testNode{a, b, c} {
+		st := tn.n.Stats()
+		if st.Alive != 3 {
+			t.Fatalf("node %s sees %d alive, want 3 (members %+v)", tn.n.Self(), st.Alive, st.Members)
+		}
+		if st.RingMembers != 3 {
+			t.Fatalf("node %s ring has %d members, want 3", tn.n.Self(), st.RingMembers)
+		}
+	}
+	for _, k := range testKeys(200) {
+		ao, _ := a.n.Owner(k)
+		bo, _ := b.n.Owner(k)
+		co, _ := c.n.Owner(k)
+		if ao != bo || bo != co {
+			t.Fatalf("ownership disagreement for %x: %q %q %q", k, ao, bo, co)
+		}
+	}
+}
+
+// Silence ages a member alive → suspect (still in the ring) → dead (out of
+// the ring); a direct heartbeat from the member revives it.
+func TestMembershipSuspectDeadRecover(t *testing.T) {
+	a := startTestNode(t, "t", nil, func(c *Config) {
+		c.SuspectAfter = 5 * time.Millisecond
+		c.DeadAfter = 20 * time.Millisecond
+	})
+	b := startTestNode(t, "t", []string{a.n.Self()}, nil)
+	b.n.Tick() // introduce B to A
+	if st := a.n.Stats(); st.Alive != 2 {
+		t.Fatalf("A sees %d alive, want 2", st.Alive)
+	}
+
+	// B goes silent: its listener closes so A's own heartbeats to it fail
+	// instead of reviving it.
+	b.srv.Close()
+	time.Sleep(8 * time.Millisecond)
+	a.n.Tick()
+	if st := a.n.Stats(); st.Suspect != 1 {
+		t.Fatalf("after silence A should suspect B: %+v", st.Members)
+	}
+	if st := a.n.Stats(); st.RingMembers != 2 {
+		t.Fatal("suspect members must stay in the ring")
+	}
+
+	time.Sleep(25 * time.Millisecond)
+	a.n.Tick()
+	if st := a.n.Stats(); st.Dead != 1 || st.RingMembers != 1 {
+		t.Fatalf("after DeadAfter B should be dead and out of the ring: %+v", a.n.Stats())
+	}
+
+	b.n.Tick() // direct contact revives
+	if st := a.n.Stats(); st.Dead != 0 || st.RingMembers != 2 {
+		t.Fatalf("direct heartbeat should revive B: %+v", a.n.Stats())
+	}
+}
+
+// A node hearing a rumor of its own death refutes it by bumping its
+// incarnation past the rumor's — the mechanism that lets a restarted node
+// (incarnation reset to zero) override its lingering dead entry everywhere.
+func TestSelfRefutation(t *testing.T) {
+	a := startTestNode(t, "t", nil, nil)
+	rumor := heartbeatMsg{
+		Cluster: "t",
+		From:    "gossiper:1",
+		View:    []Member{{Addr: a.n.Self(), Incarnation: 3, State: StateDead}},
+	}
+	body, _ := json.Marshal(rumor)
+	req := httptest.NewRequest("POST", "/api/v1/cluster/heartbeat", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	a.n.HandleHeartbeat(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("heartbeat rejected: %d %s", rec.Code, rec.Body)
+	}
+	st := a.n.Stats()
+	if st.Incarnation != 4 || st.Refutations != 1 {
+		t.Fatalf("want incarnation 4 after refuting dead@3, got %+v", st)
+	}
+	var reply heartbeatMsg
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range reply.View {
+		if m.Addr == a.n.Self() && (m.State != StateAlive || m.Incarnation != 4) {
+			t.Fatalf("reply view must carry the refuted self entry: %+v", m)
+		}
+	}
+}
+
+// Clusters are namespaces: a heartbeat naming a different cluster is 403 and
+// merges nothing.
+func TestClusterNameMismatch(t *testing.T) {
+	a := startTestNode(t, "alpha", nil, nil)
+	msg := heartbeatMsg{Cluster: "beta", From: "stranger:1",
+		View: []Member{{Addr: "stranger:1", State: StateAlive}}}
+	body, _ := json.Marshal(msg)
+	req := httptest.NewRequest("POST", "/api/v1/cluster/heartbeat", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	a.n.HandleHeartbeat(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("cross-cluster heartbeat got %d, want 403", rec.Code)
+	}
+	if st := a.n.Stats(); st.Alive != 1 {
+		t.Fatalf("stranger must not be merged: %+v", st.Members)
+	}
+}
+
+// Within one incarnation a rumor can only degrade; a higher incarnation wins
+// outright in either direction.
+func TestIncarnationMergeRules(t *testing.T) {
+	a := startTestNode(t, "t", []string{"x:1"}, nil)
+	send := func(view []Member) {
+		body, _ := json.Marshal(heartbeatMsg{Cluster: "t", From: "y:1", View: view})
+		req := httptest.NewRequest("POST", "/api/v1/cluster/heartbeat", bytes.NewReader(body))
+		a.n.HandleHeartbeat(httptest.NewRecorder(), req)
+	}
+	stateOf := func(addr string) Member {
+		for _, m := range a.n.Members() {
+			if m.Addr == addr {
+				return m
+			}
+		}
+		t.Fatalf("no member %s", addr)
+		return Member{}
+	}
+
+	send([]Member{{Addr: "x:1", Incarnation: 0, State: StateDead}})
+	if m := stateOf("x:1"); m.State != StateDead {
+		t.Fatalf("same-incarnation dead rumor must degrade: %+v", m)
+	}
+	// alive@0 does not resurrect dead@0...
+	send([]Member{{Addr: "x:1", Incarnation: 0, State: StateAlive}})
+	if m := stateOf("x:1"); m.State != StateDead {
+		t.Fatalf("same-incarnation alive rumor must not resurrect: %+v", m)
+	}
+	// ...but alive@1 does.
+	send([]Member{{Addr: "x:1", Incarnation: 1, State: StateAlive}})
+	if m := stateOf("x:1"); m.State != StateAlive || m.Incarnation != 1 {
+		t.Fatalf("higher incarnation must win: %+v", m)
+	}
+}

@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"sort"
+
+	"pimdsm/internal/hashmap"
+)
+
+// ring is the consistent-hash partition of the 64-bit content-address space.
+// Every member contributes vnodes points, each at Digest(addr, i); a key is
+// owned by the member whose point is the first at or clockwise after the key
+// (wrapping at 2^64). Because job keys are already hashmap.Digest outputs
+// (well mixed — see keydist_test.go in serve) and vnode points go through the
+// same mixer, ownership shares converge to ~1/N per member with variance
+// shrinking as vnodes grows.
+type ring struct {
+	points  []ringPoint // sorted by hash, ties broken by addr
+	members []string    // sorted, for introspection
+}
+
+type ringPoint struct {
+	hash uint64
+	addr string
+}
+
+// vnodePoint places vnode i of member addr on the ring.
+func vnodePoint(addr string, i int) uint64 {
+	var d hashmap.Digest
+	d.WriteString(addr)
+	d.WriteUint64(uint64(i))
+	return d.Sum64()
+}
+
+// buildRing constructs the ring for a member set. Deterministic: every node
+// with the same view builds the identical ring, which is what makes remote
+// ownership decisions agree without coordination.
+func buildRing(members []string, vnodes int) *ring {
+	r := &ring{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	r.points = make([]ringPoint, 0, len(r.members)*vnodes)
+	for _, m := range r.members {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: vnodePoint(m, i), addr: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].addr < r.points[j].addr
+	})
+	return r
+}
+
+// search returns the index of the first point at or after key (wrapping).
+func (r *ring) search(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// owner returns the member owning key ("" on an empty ring).
+func (r *ring) owner(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].addr
+}
+
+// successors returns up to n distinct members clockwise after key's owner,
+// excluding the owner itself — the replica set for the key.
+func (r *ring) successors(key uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	start := r.search(key)
+	seen := map[string]bool{r.points[start].addr: true}
+	var out []string
+	for j := 1; j <= len(r.points) && len(out) < n; j++ {
+		p := r.points[(start+j)%len(r.points)]
+		if !seen[p.addr] {
+			seen[p.addr] = true
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}

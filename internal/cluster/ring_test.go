@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+
+	"pimdsm/internal/hashmap"
+)
+
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		var d hashmap.Digest
+		d.WriteString("key")
+		d.WriteInt(i)
+		keys[i] = d.Sum64()
+	}
+	return keys
+}
+
+// Ownership must be deterministic from the member set alone: two nodes with
+// the same view must agree on every key without coordination.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"10.0.0.3:1", "10.0.0.1:1", "10.0.0.2:1"}
+	a := buildRing(members, 64)
+	b := buildRing([]string{"10.0.0.2:1", "10.0.0.3:1", "10.0.0.1:1"}, 64) // different order
+	for _, k := range testKeys(1000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("owner disagreement for key %x: %q vs %q", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// With vnodes, ownership shares should be roughly balanced: no member of a
+// 3-node ring takes less than 15% or more than 55% of a well-mixed key set.
+func TestRingBalance(t *testing.T) {
+	members := []string{"n1:9000", "n2:9000", "n3:9000"}
+	r := buildRing(members, 64)
+	counts := map[string]int{}
+	keys := testKeys(30000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys, outside [15%%, 55%%]", m, 100*share)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := buildRing(members, 32)
+	for _, k := range testKeys(200) {
+		owner := r.owner(k)
+		succ := r.successors(k, 2)
+		if len(succ) != 2 {
+			t.Fatalf("want 2 successors, got %v", succ)
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successors %v not distinct from each other and owner %s", succ, owner)
+			}
+			seen[s] = true
+		}
+	}
+	// Replication factor beyond the member count saturates at N-1.
+	if got := r.successors(42, 10); len(got) != 3 {
+		t.Fatalf("want 3 successors on a 4-member ring, got %v", got)
+	}
+}
+
+func TestRingSingleAndEmpty(t *testing.T) {
+	solo := buildRing([]string{"only:1"}, 16)
+	for _, k := range testKeys(50) {
+		if solo.owner(k) != "only:1" {
+			t.Fatal("single-member ring must own everything")
+		}
+	}
+	if got := solo.successors(7, 2); len(got) != 0 {
+		t.Fatalf("single-member ring has no successors, got %v", got)
+	}
+	empty := buildRing(nil, 16)
+	if empty.owner(7) != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}

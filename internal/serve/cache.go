@@ -114,6 +114,30 @@ func (c *Cache) Acquire(key uint64) (res *machine.Result, js []byte, hit bool, f
 	return nil, nil, false, f, true
 }
 
+// Peek returns the cached result for key without starting a flight: a hit
+// counts (and refreshes LRU recency) like Acquire's, but a miss moves no
+// counters and registers no in-flight work. Cluster routing uses it to ask
+// "can this node answer right now?" before forwarding to the owner.
+func (c *Cache) Peek(key uint64) (*machine.Result, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m.Get(key); ok {
+		c.hits++
+		c.touch(e)
+		return e.res, e.js, true
+	}
+	return nil, nil, false
+}
+
+// Contains reports residency without touching counters or recency — a pure
+// read for redirect decisions.
+func (c *Cache) Contains(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m.Get(key)
+	return ok
+}
+
 // Fulfill resolves the caller-owned flight for key with a computed result
 // and inserts it into the cache, evicting from the LRU tail past the bound.
 func (c *Cache) Fulfill(key, seed uint64, spec ConfigSpec, res *machine.Result, js []byte) {

@@ -8,16 +8,22 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pimdsm/internal/obs/svclog"
 )
 
-// Client talks to an aggsimd daemon over its JSON/HTTP API.
+// Client talks to an aggsimd daemon over its JSON/HTTP API. Against a
+// clustered daemon it follows ownership redirects transparently: a 421
+// Misdirected Request repoints the client at the named peer, and all later
+// requests (status, wait, result) go there too, so the job is watched on the
+// node that actually holds it. Use by pointer, not value.
 type Client struct {
 	// Base is the daemon address: "host:port" or a full "http://..." URL.
 	Base string
@@ -27,13 +33,45 @@ type Client struct {
 	// (Authorization: Bearer). Required against a daemon running with
 	// -tenants-file; ignored by an anonymous daemon.
 	APIKey string
+
+	// mu guards peerBase, the sticky cluster-redirect target (empty until a
+	// 421 arrives; reset to Base by ResetPeer).
+	mu       sync.Mutex
+	peerBase string
+
+	// sleep and rnd are test seams for SubmitRetry's jittered backoff: sleep
+	// replaces the context-aware wait, rnd the uniform [0,1) draw. Nil means
+	// the real thing.
+	sleep func(time.Duration)
+	rnd   func() float64
 }
 
 // NewClient returns a client for the daemon at addr.
 func NewClient(addr string) *Client { return &Client{Base: addr} }
 
+// base returns the address requests go to: the last cluster redirect target,
+// or Base before any redirect.
+func (c *Client) base() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.peerBase != "" {
+		return c.peerBase
+	}
+	return c.Base
+}
+
+// setPeer repoints the client at a cluster peer.
+func (c *Client) setPeer(addr string) {
+	c.mu.Lock()
+	c.peerBase = addr
+	c.mu.Unlock()
+}
+
+// ResetPeer forgets any cluster redirect, returning to Base.
+func (c *Client) ResetPeer() { c.setPeer("") }
+
 func (c *Client) url(path string) string {
-	base := c.Base
+	base := c.base()
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
@@ -109,38 +147,66 @@ func (c *Client) get(path string, out any) error {
 }
 
 // Submit posts a job. A full admission window surfaces as *BusyError with
-// the server's retry-after hint.
+// the server's retry-after hint. Cluster ownership redirects (421) are
+// followed transparently, at most maxRedirectHops times; the follow-up
+// submission carries X-Aggsimd-Forwarded so the receiving node serves it
+// rather than bouncing again, and the redirect target sticks for the
+// client's later status/result calls.
 func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
 	var st JobStatus
 	buf, err := json.Marshal(spec)
 	if err != nil {
 		return st, err
 	}
-	req, err := c.newRequest(nil, "POST", c.url("/api/v1/jobs"), bytes.NewReader(buf))
-	if err != nil {
-		return st, err
+	const maxRedirectHops = 3
+	forwarded := false
+	for hop := 0; ; hop++ {
+		req, err := c.newRequest(nil, "POST", c.url("/api/v1/jobs"), bytes.NewReader(buf))
+		if err != nil {
+			return st, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if forwarded {
+			req.Header.Set(forwardedHeader, "1")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return st, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return st, err
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest && hop < maxRedirectHops {
+			var eb errorBody
+			if json.Unmarshal(body, &eb) == nil && eb.Peer != "" {
+				c.setPeer(eb.Peer)
+				forwarded = true
+				continue
+			}
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return st, apiError(resp, body)
+		}
+		return st, json.Unmarshal(body, &st)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return st, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return st, err
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		return st, apiError(resp, body)
-	}
-	return st, json.Unmarshal(body, &st)
 }
 
-// SubmitRetry posts a job, honoring admission-control pushback: on a 429
-// the client sleeps the server's Retry-After hint (capped at maxSleep when
-// maxSleep > 0) and resubmits, up to maxRetries retries. Any other error is
-// returned immediately. The returned count is how many 429s were absorbed.
+// SubmitRetry posts a job, honoring admission-control pushback with capped
+// exponential backoff and full jitter: on the nth consecutive 429 the client
+// sleeps uniform(0, min(cap, hint·2ⁿ)) — the server's Retry-After hint is
+// the base, maxSleep the cap (a non-positive maxSleep uses 30s) — then
+// resubmits, up to maxRetries retries. Full jitter decorrelates a fleet of
+// pushed-back clients: without it every client that got the same hint
+// returns in the same instant and the window fills again before anyone
+// lands. Any other error is returned immediately. The returned count is how
+// many 429s were absorbed.
 func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, maxRetries int, maxSleep time.Duration) (JobStatus, int, error) {
+	cap := maxSleep
+	if cap <= 0 {
+		cap = 30 * time.Second
+	}
 	retries := 0
 	for {
 		st, err := c.Submit(spec)
@@ -151,10 +217,19 @@ func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, maxRetries int, 
 		if retries >= maxRetries {
 			return st, retries, err
 		}
+		window := backoffWindow(be.RetryAfter, retries, cap)
 		retries++
-		sleep := be.RetryAfter
-		if maxSleep > 0 && sleep > maxSleep {
-			sleep = maxSleep
+		rnd := c.rnd
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		sleep := time.Duration(rnd() * float64(window))
+		if c.sleep != nil {
+			c.sleep(sleep)
+			if err := ctx.Err(); err != nil {
+				return st, retries, err
+			}
+			continue
 		}
 		select {
 		case <-ctx.Done():
@@ -162,6 +237,29 @@ func (c *Client) SubmitRetry(ctx context.Context, spec JobSpec, maxRetries int, 
 		case <-time.After(sleep):
 		}
 	}
+}
+
+// backoffWindow is the jitter window for the nth retry (0-based): the
+// server's hint doubled n times, capped. The shift saturates instead of
+// overflowing.
+func backoffWindow(hint time.Duration, n int, cap time.Duration) time.Duration {
+	if hint <= 0 {
+		hint = time.Second
+	}
+	if n > 62 {
+		n = 62
+	}
+	w := hint
+	for i := 0; i < n; i++ {
+		w *= 2
+		if w >= cap || w < 0 {
+			return cap
+		}
+	}
+	if w > cap {
+		return cap
+	}
+	return w
 }
 
 // Status fetches one job's status.

@@ -94,6 +94,10 @@ type errorBody struct {
 	// pushed back and which gate did it.
 	Tenant string `json:"tenant,omitempty"`
 	Reason string `json:"reason,omitempty"`
+	// Peer names the cluster node a 421 Misdirected Request points at: the
+	// owner of the submission's keys (or any alive peer while this node
+	// drains). Clients resubmit there with X-Aggsimd-Forwarded set.
+	Peer string `json:"peer,omitempty"`
 }
 
 // writeJSON encodes v; an encode/write failure (client gone, marshal bug)
@@ -172,6 +176,17 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/stats", a.auth(a.stats))
 	mux.HandleFunc("GET /api/v1/tenants", a.auth(a.tenantsList))
 	mux.HandleFunc("GET /api/v1/tenants/{name}/usage", a.auth(a.tenantUsage))
+	// Cluster peer protocol (DESIGN.md §15): mounted outside tenant auth —
+	// peers are not tenants; the shared cluster name (checked per request)
+	// and the verify-don't-trust key checks admit them. Without an attached
+	// node every route is an inert 404, so the single-node surface is
+	// unchanged.
+	mux.HandleFunc("POST /api/v1/cluster/heartbeat", a.clusterHeartbeat)
+	mux.HandleFunc("POST /api/v1/cluster/compute", a.clusterCompute)
+	mux.HandleFunc("GET /api/v1/cluster/lookup", a.clusterLookup)
+	mux.HandleFunc("POST /api/v1/cluster/replicate", a.clusterReplicate)
+	mux.HandleFunc("POST /api/v1/cluster/steal", a.clusterSteal)
+	mux.HandleFunc("POST /api/v1/cluster/stolen", a.clusterStolen)
 	mux.HandleFunc("GET /metrics.prom", a.metricsProm)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -184,6 +199,15 @@ func (a *API) Handler() http.Handler {
 	return svclog.Middleware(a.log, a.hs, mux)
 }
 
+// Serve serves the API on an already-bound listener (hardened
+// obs.NewHTTPServer, background goroutine) and returns a closer. The cluster
+// harness uses this to know every node's address before any node starts.
+func (a *API) Serve(ln net.Listener) func() {
+	hs := obs.NewHTTPServer(a.Handler())
+	go hs.Serve(ln)
+	return func() { hs.Close() }
+}
+
 // ListenAndServe binds addr (":0" for an ephemeral port) and serves the API
 // on a hardened obs.NewHTTPServer in the background, returning the bound
 // address and a closer that shuts the HTTP listener down.
@@ -192,9 +216,7 @@ func (a *API) ListenAndServe(addr string) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	hs := obs.NewHTTPServer(a.Handler())
-	go hs.Serve(ln)
-	return ln.Addr().String(), func() { hs.Close() }, nil
+	return ln.Addr().String(), a.Serve(ln), nil
 }
 
 func (a *API) submit(w http.ResponseWriter, r *http.Request) {
@@ -208,6 +230,21 @@ func (a *API) submit(w http.ResponseWriter, r *http.Request) {
 	// The tenant is the authenticated identity, never the client's claim: a
 	// spec-supplied value is overwritten (tenant mode) or cleared (anonymous).
 	spec.Tenant = svclog.TenantName(r.Context())
+	// Cluster front door: when every key in the batch belongs to one other
+	// node (and nothing is cached here), point the client straight at the
+	// owner instead of proxying the whole job. One hop at most: a submission
+	// that already followed a redirect is served here regardless.
+	if r.Header.Get(forwardedHeader) == "" {
+		if peer, reason, ok := a.srv.RedirectTarget(spec); ok {
+			a.writeJSON(w, r, http.StatusMisdirectedRequest, errorBody{
+				Error:     fmt.Sprintf("resubmit to cluster peer %s (%s)", peer, reason),
+				RequestID: svclog.RequestID(r.Context()),
+				Reason:    reason,
+				Peer:      peer,
+			})
+			return
+		}
+	}
 	st, err := a.srv.Submit(spec)
 	if err != nil {
 		var fe *ForbiddenError
@@ -299,17 +336,36 @@ func (a *API) tenantUsage(w http.ResponseWriter, r *http.Request) {
 // 503 with a JSON reason while draining or the admission window is
 // saturated. Liveness stays on /healthz, which never flips.
 func (a *API) readyz(w http.ResponseWriter, r *http.Request) {
+	type clusterReadiness struct {
+		Name    string `json:"name"`
+		Self    string `json:"self"`
+		Alive   int    `json:"alive"`
+		Suspect int    `json:"suspect"`
+		Dead    int    `json:"dead"`
+	}
 	type readiness struct {
 		Ready     bool   `json:"ready"`
 		Reason    string `json:"reason,omitempty"`
 		RequestID string `json:"request_id,omitempty"`
+		// Cluster summarizes membership when clustered (absent otherwise, so
+		// the single-node body is unchanged). Membership never gates
+		// readiness: a node alone in the ring still serves what it owns.
+		Cluster *clusterReadiness `json:"cluster,omitempty"`
 	}
 	ok, reason := a.srv.Ready()
 	code := http.StatusOK
 	if !ok {
 		code = http.StatusServiceUnavailable
 	}
-	a.writeJSON(w, r, code, readiness{Ready: ok, Reason: reason, RequestID: svclog.RequestID(r.Context())})
+	body := readiness{Ready: ok, Reason: reason, RequestID: svclog.RequestID(r.Context())}
+	if node := a.srv.clusterNode(); node != nil {
+		st := node.Stats()
+		body.Cluster = &clusterReadiness{
+			Name: st.Name, Self: st.Self,
+			Alive: st.Alive, Suspect: st.Suspect, Dead: st.Dead,
+		}
+	}
+	a.writeJSON(w, r, code, body)
 }
 
 // jobFor resolves {id} or writes a 404.
@@ -732,6 +788,37 @@ func (a *API) metricsProm(w http.ResponseWriter, r *http.Request) {
 			func(t TenantSnapshot) float64 { return float64(t.Queued) })
 		tg("aggsimd_tenant_running", "Jobs currently simulating by tenant.",
 			func(t TenantSnapshot) float64 { return float64(t.Running) })
+	}
+
+	// Cluster families, only with a node attached — the single-node
+	// exposition stays byte-identical to the pre-cluster daemon.
+	if cs := st.Cluster; cs != nil {
+		gauge("aggsimd_cluster_members_alive", "Cluster members alive (including self).", float64(cs.Node.Alive))
+		gauge("aggsimd_cluster_members_suspect", "Cluster members suspected (silent but still in the ring).", float64(cs.Node.Suspect))
+		gauge("aggsimd_cluster_members_dead", "Cluster members declared dead (out of the ring).", float64(cs.Node.Dead))
+		gauge("aggsimd_cluster_ring_members", "Members currently owning ring partitions.", float64(cs.Node.RingMembers))
+		gauge("aggsimd_cluster_ring_version", "Ring rebuild count (bumps on every membership change).", float64(cs.Node.RingVersion))
+		gauge("aggsimd_cluster_incarnation", "This node's gossip incarnation.", float64(cs.Node.Incarnation))
+		gauge("aggsimd_cluster_stolen_inflight", "Jobs currently out on loan to thieves.", float64(cs.StolenInFlight))
+		counter("aggsimd_cluster_heartbeats_sent_total", "Gossip heartbeats delivered to peers.", cs.Node.HeartbeatsSent)
+		counter("aggsimd_cluster_heartbeats_received_total", "Gossip heartbeats received from peers.", cs.Node.HeartbeatsReceived)
+		counter("aggsimd_cluster_heartbeat_failures_total", "Gossip heartbeats that failed to deliver.", cs.Node.HeartbeatFailures)
+		counter("aggsimd_cluster_refutations_total", "Death rumors about this node it refuted.", cs.Node.Refutations)
+		counter("aggsimd_cluster_forwards_sent_total", "Configs resolved through an owning peer.", cs.ForwardsSent)
+		counter("aggsimd_cluster_forwards_failed_total", "Forwarded resolutions that failed over to the next target.", cs.ForwardsFailed)
+		counter("aggsimd_cluster_forwards_served_total", "Forwarded computes served as owner.", cs.ForwardsServed)
+		counter("aggsimd_cluster_lookups_served_total", "Replica-cache lookups served to peers.", cs.LookupsServed)
+		counter("aggsimd_cluster_lookups_missed_total", "Replica-cache lookups that missed.", cs.LookupsMissed)
+		counter("aggsimd_cluster_replicas_sent_total", "Result copies pushed to ring successors.", cs.ReplicasSent)
+		counter("aggsimd_cluster_replicas_failed_total", "Result copies that failed to push.", cs.ReplicasFailed)
+		counter("aggsimd_cluster_replicas_received_total", "Result copies received from peers.", cs.ReplicasReceived)
+		counter("aggsimd_cluster_recoveries_total", "Simulations avoided by pulling a replica instead.", cs.Recoveries)
+		counter("aggsimd_cluster_steals_given_total", "Queued jobs handed to thieves.", cs.StealsGiven)
+		counter("aggsimd_cluster_steals_taken_total", "Jobs stolen from peers.", cs.StealsTaken)
+		counter("aggsimd_cluster_steals_completed_total", "Stolen jobs completed and reported back.", cs.StealsCompleted)
+		counter("aggsimd_cluster_steals_failed_total", "Stolen jobs that failed or could not report back.", cs.StealsFailed)
+		counter("aggsimd_cluster_steals_requeued_total", "Stolen jobs requeued after the thief went silent.", cs.StealsRequeued)
+		counter("aggsimd_cluster_redirects_total", "Submissions redirected to the owning peer (421).", cs.Redirects)
 	}
 
 	snap := a.hs.Snapshot()

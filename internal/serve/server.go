@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sync"
 	"time"
 
+	"pimdsm/internal/cluster"
 	"pimdsm/internal/machine"
 	"pimdsm/internal/obs"
 	"pimdsm/internal/obs/svclog"
@@ -167,6 +169,8 @@ type Job struct {
 	cacheHits int
 	simulated int
 	joins     int
+	forwarded int    // configs resolved by a cluster peer (forward or replica recovery)
+	stolenBy  string // peer executing this job after stealing it from our queue
 	err       error
 
 	results    []*machine.Result
@@ -198,6 +202,11 @@ type JobStatus struct {
 	CacheHits int      `json:"cache_hits"`
 	Simulated int      `json:"simulated"`
 	Joins     int      `json:"singleflight_joins"`
+	// Forwarded counts configs resolved by a cluster peer; StolenBy names the
+	// peer that executed the whole job after stealing it. Both are zero-valued
+	// (and absent from the JSON) outside cluster mode.
+	Forwarded int      `json:"forwarded,omitempty"`
+	StolenBy  string   `json:"stolen_by,omitempty"`
 	Telemetry bool     `json:"telemetry,omitempty"`
 	Tenant    string   `json:"tenant,omitempty"`
 	Error     string   `json:"error,omitempty"`
@@ -253,6 +262,19 @@ type Server struct {
 	submitted, rejected, jobsDone, jobsFailed, jobsAborted uint64
 	simulatedRuns, simulatedCycles                         uint64
 	ewmaJobSec                                             float64
+
+	// Cluster mode (AttachCluster): the peer node, the counters behind the
+	// aggsimd_cluster_* metric families, and the jobs currently stolen by
+	// peers (keyed by job id, requeued past their deadline). All guarded by
+	// mu like the rest; clusterWG tracks the steal loop and the async
+	// replication goroutines so Shutdown can wait for them.
+	cluster       *cluster.Node
+	cl            clusterCounters
+	stolen        map[string]*stolenRecord
+	clusterStop   chan struct{}
+	clusterWG     sync.WaitGroup
+	clusterHTTP   *http.Client
+	clusterClosed bool // set under mu before clusterWG.Wait; gates new Add calls
 }
 
 // New starts a server: restores the cache index from Options.CachePath when
@@ -483,6 +505,8 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		CacheHits:   j.cacheHits,
 		Simulated:   j.simulated,
 		Joins:       j.joins,
+		Forwarded:   j.forwarded,
+		StolenBy:    j.stolenBy,
 		Telemetry:   j.telemetry,
 		Tenant:      j.spec.Tenant,
 		SubmittedAt: j.submitted,
@@ -575,6 +599,9 @@ type ServerStats struct {
 	Artifacts ArtifactStats `json:"artifacts"`
 	// Tenants is the per-tenant state (empty in anonymous mode).
 	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+	// Cluster is the peer-layer state (absent outside cluster mode, which
+	// keeps the single-node stats JSON byte-identical).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -593,6 +620,9 @@ func (s *Server) Stats() ServerStats {
 		JobsAborted:     s.jobsAborted,
 		SimulatedRuns:   s.simulatedRuns,
 		SimulatedCycles: s.simulatedCycles,
+	}
+	if s.cluster != nil {
+		st.Cluster = s.clusterStatsLocked()
 	}
 	s.mu.Unlock()
 	st.Cache = s.cache.Stats()
@@ -645,11 +675,15 @@ func (s *Server) worker() {
 
 // runJob executes one job: resolve every config against the cache, simulate
 // the misses this job owns through the batch runner, wait for flights owned
-// by other running jobs, then finalize.
+// by other running jobs, then finalize. In cluster mode, configs whose keys
+// this node does not own are resolved through the owning peer (or its
+// replicas) instead of simulated here — the front-door half of the
+// compute-at-owner routing.
 //
 // Deadlock-freedom: flights are only ever owned by running jobs, and a job
 // always finishes its own simulations (fulfilling its flights) before
-// waiting on anyone else's, so waits form no cycle.
+// waiting on anyone else's, so waits form no cycle. Remote-owned configs
+// never acquire local flights at all.
 func (s *Server) runJob(j *Job) {
 	n := len(j.spec.Configs)
 	keys := make([]uint64, n)
@@ -661,23 +695,58 @@ func (s *Server) runJob(j *Job) {
 		fl *flight
 	}
 	var joins []join
+	var remote []int
+	node := s.clusterNode()
+
+	recordHit := func(i int, res *machine.Result, js []byte) {
+		results[i], resJSON[i] = res, js
+		s.mu.Lock()
+		j.done++
+		j.cacheHits++
+		s.eventLocked(j, svclog.EvCacheHit, i, 0, "")
+		s.mu.Unlock()
+		s.tenantAccount(j, func(u *TenantUsage) {
+			u.CacheHits++
+			u.ResultBytes += uint64(len(js))
+		})
+	}
 
 	for i, cs := range j.spec.Configs {
 		keys[i] = cs.Key(j.spec.Seed)
+		if node != nil {
+			if _, self := node.Owner(keys[i]); !self {
+				// A replicated or previously forwarded copy serves locally;
+				// otherwise the owner resolves it (never a local flight).
+				if res, js, ok := s.cache.Peek(keys[i]); ok {
+					recordHit(i, res, js)
+				} else {
+					remote = append(remote, i)
+				}
+				continue
+			}
+		}
 		res, js, hit, fl, owner := s.cache.Acquire(keys[i])
 		switch {
 		case hit:
-			results[i], resJSON[i] = res, js
-			s.mu.Lock()
-			j.done++
-			j.cacheHits++
-			s.eventLocked(j, svclog.EvCacheHit, i, 0, "")
-			s.mu.Unlock()
-			s.tenantAccount(j, func(u *TenantUsage) {
-				u.CacheHits++
-				u.ResultBytes += uint64(len(js))
-			})
+			recordHit(i, res, js)
 		case owner:
+			if node != nil {
+				// Owned key, no cached copy: ask the replica set before
+				// burning a simulation — a restarted owner recovers the
+				// results its successors kept (exactly-once across
+				// kill/restart, even through its own front door).
+				if res, js, ok := s.recoverFromReplicas(keys[i]); ok {
+					s.cache.Fulfill(keys[i], j.spec.Seed, cs.canonical(), res, js)
+					results[i], resJSON[i] = res, js
+					s.mu.Lock()
+					j.done++
+					j.forwarded++
+					s.eventLocked(j, svclog.EvCacheHit, i, 0, "cluster:recovered")
+					s.mu.Unlock()
+					s.tenantAccount(j, func(u *TenantUsage) { u.ResultBytes += uint64(len(js)) })
+					continue
+				}
+			}
 			toRun = append(toRun, i)
 			s.tenantAccount(j, func(u *TenantUsage) { u.CacheMisses++ })
 			_ = fl // resolved via cache.Fulfill/Abort below
@@ -688,8 +757,13 @@ func (s *Server) runJob(j *Job) {
 	}
 
 	var jobErr error
+	if len(remote) > 0 {
+		jobErr = s.resolveRemote(j, keys, remote, results, resJSON)
+	}
 	if len(toRun) > 0 {
-		jobErr = s.simulate(j, keys, toRun, results, resJSON)
+		if err := s.simulate(j, keys, toRun, results, resJSON); err != nil && jobErr == nil {
+			jobErr = err
+		}
 	}
 
 	for _, w := range joins {
@@ -807,6 +881,7 @@ func (s *Server) simulate(j *Job, keys []uint64, toRun []int, results []*machine
 			}
 			results[i], resJSON[i] = r, js
 			s.cache.Fulfill(keys[i], j.spec.Seed, j.spec.Configs[i].canonical(), r, js)
+			s.replicateAsync(keys[i], j.spec.Seed, j.spec.Configs[i].canonical(), js)
 			if profs != nil && profs[bi] != nil {
 				// Fold this config's cycle attribution into the job's
 				// flight record: additive snapshot merge plus folded
@@ -892,6 +967,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		waitErr = ctx.Err()
 	}
+	s.stopCluster()
 	if s.opt.CachePath != "" {
 		if err := s.saveCache(s.opt.CachePath); err != nil && waitErr == nil {
 			waitErr = err

@@ -160,14 +160,19 @@ type tenantState struct {
 	base  TenantUsage // restored ledger from previous processes
 }
 
-// Tenants is the registry: the fixed tenant set plus per-tenant live state.
+// Tenants is the registry: the tenant set plus per-tenant live state. The
+// set is fixed between reloads — Reload swaps in a revalidated tenants file
+// atomically (generation counts the swaps), which is what bounds the
+// `tenant` label cardinality in the Prometheus exposition: labels only ever
+// take values from the operator-controlled file.
 // Lock order: Server.mu may be held when registry methods are called, never
 // the reverse.
 type Tenants struct {
-	mu     sync.Mutex
-	order  []string
-	states map[string]*tenantState
-	now    func() time.Time // test seam for the token bucket
+	mu         sync.Mutex
+	order      []string
+	states     map[string]*tenantState
+	generation uint64
+	now        func() time.Time // test seam for the token bucket
 }
 
 // tenantsFile is the on-disk shape of the -tenants-file.
@@ -195,22 +200,23 @@ func LoadTenants(path string) (*Tenants, error) {
 	return reg, nil
 }
 
-// NewTenants builds a registry from a validated tenant list: names and keys
-// must be unique, names non-empty, keys at least 8 characters, and every
-// quota non-negative.
-func NewTenants(list []Tenant) (*Tenants, error) {
-	r := &Tenants{
-		states: make(map[string]*tenantState, len(list)),
-		now:    time.Now,
-	}
+// normalizeTenants validates a declared tenant list and applies defaults:
+// names and keys must be unique, names non-empty, keys at least 8
+// characters, every quota non-negative, and a rate-limited tenant with no
+// declared burst gets RatePerSec rounded up (minimum 1). Shared by NewTenants
+// and Reload so a reloaded file passes exactly the startup checks.
+func normalizeTenants(list []Tenant) ([]Tenant, error) {
+	out := make([]Tenant, 0, len(list))
+	names := make(map[string]bool, len(list))
 	keys := make(map[string]string, len(list))
 	for i, t := range list {
 		if t.Name == "" {
 			return nil, fmt.Errorf("tenant %d: empty name", i)
 		}
-		if _, dup := r.states[t.Name]; dup {
+		if names[t.Name] {
 			return nil, fmt.Errorf("tenant %q: duplicate name", t.Name)
 		}
+		names[t.Name] = true
 		if len(t.Key) < 8 {
 			return nil, fmt.Errorf("tenant %q: key shorter than 8 characters", t.Name)
 		}
@@ -230,6 +236,23 @@ func NewTenants(list []Tenant) (*Tenants, error) {
 				t.Burst = 1
 			}
 		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// NewTenants builds a registry from a validated tenant list (see
+// normalizeTenants for the rules).
+func NewTenants(list []Tenant) (*Tenants, error) {
+	list, err := normalizeTenants(list)
+	if err != nil {
+		return nil, err
+	}
+	r := &Tenants{
+		states: make(map[string]*tenantState, len(list)),
+		now:    time.Now,
+	}
+	for _, t := range list {
 		st := &tenantState{t: t}
 		if t.RatePerSec > 0 {
 			st.tokens = float64(t.Burst) // a fresh tenant starts with a full bucket
@@ -238,6 +261,81 @@ func NewTenants(list []Tenant) (*Tenants, error) {
 		r.order = append(r.order, t.Name)
 	}
 	return r, nil
+}
+
+// Reload swaps the registry's tenant set for a new declared list, atomically
+// and all-or-nothing: a list that fails validation changes NOTHING (the old
+// registry keeps serving) and the error says why. Tenants present in both
+// sets keep their live scheduling state and usage counters under the new
+// declaration (tokens clamp to a shrunk burst; a newly rate-limited tenant
+// starts with a full bucket). Removed tenants drop out — their keys stop
+// authenticating on the next request, and their in-flight jobs finish
+// normally (the accounting paths tolerate an unregistered name). Added
+// tenants start fresh.
+func (r *Tenants) Reload(list []Tenant) error {
+	list, err := normalizeTenants(list)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	states := make(map[string]*tenantState, len(list))
+	order := make([]string, 0, len(list))
+	for _, t := range list {
+		st := r.states[t.Name]
+		if st == nil {
+			st = &tenantState{t: t}
+			if t.RatePerSec > 0 {
+				st.tokens = float64(t.Burst)
+			}
+		} else {
+			wasLimited := st.t.RatePerSec > 0
+			st.t = t
+			switch {
+			case t.RatePerSec <= 0:
+				st.tokens, st.lastRefill = 0, time.Time{}
+			case !wasLimited:
+				st.tokens = float64(t.Burst) // newly limited: full bucket
+				st.lastRefill = time.Time{}
+			case st.tokens > float64(t.Burst):
+				st.tokens = float64(t.Burst) // burst shrank: clamp
+			}
+		}
+		states[t.Name] = st
+		order = append(order, t.Name)
+	}
+	r.states = states
+	r.order = order
+	r.generation++
+	return nil
+}
+
+// ReloadFile re-reads a tenants file into the registry via Reload (same
+// all-or-nothing contract; a missing or malformed file leaves the registry
+// untouched).
+func (r *Tenants) ReloadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: tenants file: %w", err)
+	}
+	var tf tenantsFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	if len(tf.Tenants) == 0 {
+		return fmt.Errorf("serve: tenants file %s declares no tenants", path)
+	}
+	if err := r.Reload(tf.Tenants); err != nil {
+		return fmt.Errorf("serve: tenants file %s: %w", path, err)
+	}
+	return nil
+}
+
+// Generation counts successful Reloads (0 until the first).
+func (r *Tenants) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.generation
 }
 
 // Len returns the number of registered tenants.
@@ -425,6 +523,28 @@ func (r *Tenants) aborted(name string) {
 	defer r.mu.Unlock()
 	if st := r.states[name]; st != nil {
 		st.queued--
+		st.usage.JobsAborted++
+	}
+}
+
+// requeued moves a job back from running to queued (a stolen job whose thief
+// went silent).
+func (r *Tenants) requeued(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.states[name]; st != nil {
+		st.running--
+		st.queued++
+	}
+}
+
+// abortedRunning retires one running job during a drain (a stolen job the
+// shutdown could not wait for).
+func (r *Tenants) abortedRunning(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.states[name]; st != nil {
+		st.running--
 		st.usage.JobsAborted++
 	}
 }

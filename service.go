@@ -4,6 +4,7 @@ import (
 	"io"
 	"log/slog"
 
+	"pimdsm/internal/cluster"
 	"pimdsm/internal/obs"
 	"pimdsm/internal/obs/svclog"
 	"pimdsm/internal/serve"
@@ -69,6 +70,23 @@ type (
 	// ArtifactStats is the artifact store's counter snapshot.
 	ArtifactStats = serve.ArtifactStats
 
+	// The cluster layer (internal/cluster + DESIGN.md §15): N aggsimd
+	// daemons form a named cluster via gossip membership, partition the
+	// content-addressed key space with a consistent-hash ring, route work to
+	// key owners, replicate hot results to ring successors, and steal queued
+	// jobs when idle. Attach a node with Server.AttachCluster.
+	// ClusterConfig configures one membership node (name, self, seeds,
+	// replicas, timing).
+	ClusterConfig = cluster.Config
+	// ClusterNode is one member: membership table, ring, heartbeat loop.
+	ClusterNode = cluster.Node
+	// ClusterNodeStats is the membership node's counter snapshot.
+	ClusterNodeStats = cluster.Stats
+	// ClusterMember is one entry in a node's membership view.
+	ClusterMember = cluster.Member
+	// ClusterStats is the serve-layer cluster section of ServerStats.
+	ClusterStats = serve.ClusterStats
+
 	// The perf-diff engine (internal/obs/compare.go): RunDump gathers one
 	// run's flight-recorder record, CompareRuns diffs two of them, and
 	// BenchTimeline tracks the committed BENCH_*.json throughput trajectory.
@@ -117,6 +135,10 @@ const (
 // NewEventLog returns a lifecycle event log retaining the last cap events
 // globally (complete chains are kept per job); cap <= 0 picks the default.
 func NewEventLog(cap int) *EventLog { return svclog.NewEventLog(cap) }
+
+// NewClusterNode builds a cluster membership node from cfg (it does not
+// start heartbeating until Server.AttachCluster). See cluster.New.
+func NewClusterNode(cfg ClusterConfig) (*ClusterNode, error) { return cluster.New(cfg) }
 
 // LoadTenants reads and validates a tenants file ({"tenants":[{...}]}),
 // returning the registry to hand to ServerOptions.Tenants.
